@@ -1,0 +1,28 @@
+"""Benchmark E-ABL — ablations of DESIGN.md's called-out design choices."""
+
+from conftest import emit, run_once
+
+from repro.experiments import ablations
+
+
+def test_design_choice_ablations(benchmark):
+    results = run_once(benchmark, ablations.run)
+    emit("Ablations: input buffer / chaining / LUT windows",
+         ablations.format_result(results))
+
+    buffer_points, chaining, window_points = results
+
+    # Figure 11(d): the partial input buffer "boost[s] performance in a
+    # limited bandwidth scenario" — large gains when starved.
+    assert all(point.gain > 2.0 for point in buffer_points)
+
+    # Left-rotation chaining both speeds execution and cuts link traffic
+    # (the intermediates never leave the accumulators).
+    assert chaining.speedup > 1.3
+    assert chaining.traffic_saving > 0.3
+
+    # The paper's GELU window [-4, 3] is the knee: max error < 0.05 at
+    # 4 KB, and halving the window blows the error budget.
+    by_window = {p.window: p for p in window_points}
+    assert by_window[(-4, 3)].max_error < 0.05
+    assert by_window[(-3, 2)].max_error > 0.05

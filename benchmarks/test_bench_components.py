@@ -1,0 +1,60 @@
+"""Microbenchmarks of the simulator components themselves.
+
+Unlike the artifact benchmarks (one round each), these time the library's
+hot paths over many rounds — useful when optimizing the simulators.
+"""
+
+import numpy as np
+
+from repro.arch import SystolicArray, make_gelu_lut
+from repro.dataflow import ArrayType, build_graph_for
+from repro.model import ProteinBert, protein_bert_base, protein_bert_tiny, to_bfloat16
+from repro.sched import Orchestrator
+from repro.arch.config import best_perf
+from repro.trace import TraceSpec, trace_model
+
+
+def test_bench_bf16_rounding(benchmark):
+    values = np.random.default_rng(0).normal(
+        size=(512, 512)).astype(np.float32)
+    benchmark(to_bfloat16, values)
+
+
+def test_bench_gelu_lut_lookup(benchmark):
+    lut = make_gelu_lut()
+    values = np.random.default_rng(0).normal(
+        0, 2, size=(256, 256)).astype(np.float32)
+    benchmark(lut.lookup, values)
+
+
+def test_bench_functional_matmul(benchmark):
+    array = SystolicArray(16, ArrayType.M)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(128, 768)).astype(np.float32)
+    b = rng.normal(size=(768, 128)).astype(np.float32)
+    benchmark(array.matmul, a, b)
+
+
+def test_bench_symbolic_trace(benchmark):
+    spec = TraceSpec(protein_bert_base(), batch=128, seq_len=512)
+    benchmark(trace_model, spec)
+
+
+def test_bench_dataflow_build(benchmark):
+    config = protein_bert_base()
+    benchmark(build_graph_for, config, 4, 512)
+
+
+def test_bench_orchestrator_run(benchmark):
+    orchestrator = Orchestrator(best_perf())
+    config = protein_bert_base()
+    benchmark.pedantic(orchestrator.run, args=(config, 32, 256),
+                       rounds=3, iterations=1)
+
+
+def test_bench_tiny_model_forward(benchmark):
+    config = protein_bert_tiny()
+    model = ProteinBert(config, seed=0)
+    ids = np.random.default_rng(0).integers(0, config.vocab_size,
+                                            size=(4, 64))
+    benchmark(model.forward, ids)

@@ -1,0 +1,28 @@
+"""Benchmark E-EXT — the paper's claimed extension capabilities."""
+
+from conftest import emit, run_once
+
+from repro.experiments import extensions
+
+
+def test_extension_studies(benchmark):
+    zoo, seq2seq, tasks = run_once(benchmark, extensions.run)
+    emit("Extensions: model zoo / encoder-decoder / downstream tasks",
+         extensions.format_result((zoo, seq2seq, tasks)))
+
+    # Streaming design scales to ESM-1b with *constant* device storage.
+    by_model = {point.model: point for point in zoo}
+    assert by_model["esm-1b"].prose_storage_bytes \
+        == by_model["tape-bert"].prose_storage_bytes
+    # Throughput roughly inversely proportional to model size.
+    assert by_model["tape-bert"].throughput \
+        > 3 * by_model["esm-1b"].throughput
+
+    # Encoder-decoder runs on the same three dataflows with a bounded
+    # overhead (decoder adds roughly one encoder's worth of work).
+    for point in seq2seq:
+        assert 1.2 <= point.decoder_overhead <= 3.5
+
+    # One shared extractor transfers to every registered downstream task.
+    for result in tasks.values():
+        assert result.rank_correlation > 0.4

@@ -1,0 +1,28 @@
+"""Benchmark E-F1 — Figure 1: inference efficiency vs sequence length."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure01
+
+
+def test_figure01_efficiency_curves(benchmark):
+    result = run_once(benchmark, figure01.run)
+    emit("Figure 1: inferences/s/W vs input length",
+         figure01.format_result(result))
+
+    # Shape claims: every platform's efficiency decreases with length.
+    for system in result.systems:
+        curve = result.curve(system)
+        assert curve[0].efficiency > curve[-1].efficiency
+
+    # ProSE holds roughly an order of magnitude (or more) over every
+    # commodity platform at short, human-language lengths...
+    for other in ("A100", "TPUv2", "TPUv3"):
+        assert result.efficiency("ProSE", 32) \
+            > 5 * result.efficiency(other, 32)
+
+    # ...and past ~512 tokens the commodity platforms fall below
+    # 1 inference/s/W while ProSE stays usable.
+    for other in ("A100", "TPUv2", "TPUv3"):
+        assert result.efficiency(other, 1024) < 1.0
+    assert result.efficiency("ProSE", 1024) > 1.0

@@ -1,0 +1,30 @@
+"""Benchmark E-F3 — Figure 3: runtime breakdown by operation class."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure03
+from repro.profiling import matmul_share_bounds
+
+
+def test_figure03_runtime_breakdown(benchmark):
+    rows = run_once(benchmark, figure03.run)
+    emit("Figure 3: Protein BERT runtime breakdown (A100)",
+         figure03.format_result(rows))
+
+    # Matrix multiplies (batched + unbatched) dominate but never take the
+    # whole runtime.  The paper reports 35%-52%; our calibrated model
+    # spans 33%-65% (the short-length end runs matmul-heavier than the
+    # paper's measurement — see EXPERIMENTS.md), with the protein-scale
+    # lengths (>=256 tokens) inside the published band.
+    low, high = matmul_share_bounds(rows)
+    assert 0.30 <= low and high <= 0.66
+    protein_rows = [row for row in rows if row.seq_len >= 256]
+    p_low, p_high = matmul_share_bounds(protein_rows)
+    assert 0.30 <= p_low and p_high <= 0.55
+
+    # The unbatched MatMul share decreases as length increases while
+    # element-wise and special-function shares grow.
+    first, last = rows[0], rows[-1]
+    assert first.share("Matrix Multiply") > last.share("Matrix Multiply")
+    assert last.share("Softmax") > first.share("Softmax")
+    assert last.share("Matrix Div") > first.share("Matrix Div")

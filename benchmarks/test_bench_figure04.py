@@ -1,0 +1,24 @@
+"""Benchmark E-F4 — Figure 4: heterogeneity vs input sequence length."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure04
+
+
+def test_figure04_heterogeneous_vs_homogeneous(benchmark):
+    result = run_once(benchmark, figure04.run)
+    emit("Figure 4: runtime vs length, ProSE vs 4x 64x64 homogeneous",
+         figure04.format_result(result))
+
+    # Runtime grows superlinearly with length on both designs.
+    for design in ("ProSE", "Homogeneous"):
+        assert result.runtime(design, 2048) \
+            > 8 * result.runtime(design, 256)
+
+    # Little difference at short lengths...
+    assert result.ratio(32) < 1.5
+    # ...but beyond ~300 tokens the homogeneous design falls well behind.
+    assert result.ratio(512) > 1.7
+    assert result.ratio(1024) > 2.0
+    # And the divergence grows from the short-length regime.
+    assert result.ratio(1024) > result.ratio(64)

@@ -1,0 +1,26 @@
+"""Benchmark E-F8 — Figure 8: multithreaded orchestration sweep."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure08
+
+
+def test_figure08_thread_sweep(benchmark):
+    result = run_once(benchmark, figure08.run)
+    emit("Figure 8: throughput vs software thread count (BestPerf, 512 "
+         "tokens, batch 128)", figure08.format_result(result))
+
+    # Multithreading "significantly improves system throughput": near-
+    # linear scaling while data-dependency bubbles dominate.
+    assert result.speedup_over_single_thread(4) > 3.0
+    assert result.speedup_over_single_thread(32) > 10.0
+
+    # The paper chose 32 threads: past the knee extra threads add mutex
+    # contention without filling more bubbles.
+    by_threads = {p.threads: p.throughput for p in result.points}
+    assert by_threads[32] > 0.9 * max(by_threads.values())
+    assert by_threads[128] < by_threads[64]
+
+    # Contention overhead grows monotonically with the thread count.
+    contention = [p.contention_seconds for p in result.points]
+    assert all(a <= b for a, b in zip(contention, contention[1:]))

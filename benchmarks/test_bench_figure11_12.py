@@ -1,0 +1,24 @@
+"""Benchmark E-F11/12 — TPUv2 vs ProSE microarchitectural step traces."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure11_12
+
+
+def test_figure11_12_step_traces(benchmark):
+    matmul, muladd = run_once(benchmark, figure11_12.run)
+    emit("Figures 11/12: global vs local dataflow, step by step",
+         figure11_12.format_result((matmul, muladd)))
+
+    # Figure 11: TPUv2 performs eight operations, ProSE four.
+    assert matmul.tpu.num_steps == 8
+    assert matmul.prose.num_steps == 4
+
+    # Figure 12: the MulAdd traverses the TPU's global dataflow two-three
+    # times; ProSE completes it in one local-dataflow trip.
+    assert muladd.tpu.buffer_trips >= 5
+    assert muladd.step_ratio > 1.5
+
+    # ProSE makes zero Unified-Buffer round trips by construction.
+    assert matmul.prose_has_no_buffer_trips
+    assert muladd.prose_has_no_buffer_trips

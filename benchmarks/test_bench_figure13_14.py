@@ -1,0 +1,26 @@
+"""Benchmark E-F13/14 — Figures 13 & 14: GELU/Exp LUT truncation."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure13_14
+
+
+def test_figure13_14_lut_windows(benchmark):
+    gelu_report, exp_report = run_once(benchmark, figure13_14.run)
+    emit("Figures 13/14: special-function LUT windows and accuracy",
+         figure13_14.format_result((gelu_report, exp_report)))
+
+    # Exact table sizes from the paper: 4 KB for GELU, 6 KB for Exp.
+    assert gelu_report.table_bytes == 4096
+    assert exp_report.table_bytes == 6144
+
+    # Exact exponent windows: GELU [-4, 3], Exp [-6, 5].
+    assert gelu_report.exponent_window == (-4, 3)
+    assert exp_report.exponent_window == (-6, 5)
+
+    # "These truncation policies do not affect the accuracy of the models
+    # we study": all error sources stay small over the active ranges.
+    assert gelu_report.in_window_max_error < 0.05
+    assert gelu_report.below_window_max_error < 0.05
+    assert exp_report.in_window_max_error < 0.05
+    assert exp_report.above_window_max_error == 0.0   # softmax range

@@ -1,0 +1,29 @@
+"""Benchmark E-F16 — Figure 16: design-space exploration scatter."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure16
+
+
+def test_figure16_design_space_exploration(benchmark):
+    # The full space is 232 configurations (paper: 238); evaluate all of
+    # them at a reduced batch that preserves the ranking.
+    result = run_once(benchmark, figure16.run)
+    emit("Figure 16: DSE over the Table 3 space",
+         figure16.format_result(result))
+
+    assert len(result.points) == 232
+
+    # The scatter is broad: worst configuration at least 1.5x the best.
+    runtimes = [p.normalized_runtime for p in result.points]
+    assert max(runtimes) > 1.5 * min(runtimes)
+
+    # BestPerf is the global runtime minimum by construction; it should
+    # beat the A100 (normalized runtime < 1) by a wide margin.
+    assert result.best_perf.normalized_runtime < 0.5
+
+    # The efficient Pareto picks give up little performance for their
+    # power/area savings (the paper's BestPerf vs MostEfficient rows are
+    # close in both).
+    assert result.most_power_efficient.normalized_runtime \
+        < 1.5 * result.best_perf.normalized_runtime

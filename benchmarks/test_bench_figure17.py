@@ -1,0 +1,26 @@
+"""Benchmark E-F17 — Figure 17: PE-count resource sweep."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure17
+
+
+def test_figure17_resource_sweep(benchmark):
+    result = run_once(benchmark, figure17.run)
+    emit("Figure 17: performance and perf/W vs PE budget",
+         figure17.format_result(result))
+
+    by_budget = {p.pe_budget: p for p in result.points}
+
+    # Performance grows with hardware resources.
+    assert by_budget[24576].best_perf_speedup \
+        > by_budget[8192].best_perf_speedup
+
+    # The balance point (perf x perf/W) lands at 16K or 20K PEs — the
+    # paper's ProSE / ProSE+ design points.
+    assert result.most_balanced_budget in (16384, 20480)
+
+    # Every budget's BestPerf beats one A100.
+    for point in result.points:
+        assert point.best_perf_speedup > 1.0
+        assert point.best_perf_efficiency_gain > 10.0

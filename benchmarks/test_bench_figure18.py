@@ -1,0 +1,42 @@
+"""Benchmark E-F18 — Figure 18: speedup vs host-link bandwidth."""
+
+from conftest import emit, run_once
+
+from repro.arch import nvlink
+from repro.experiments import figure18
+
+
+def test_figure18_speedup_grid(benchmark):
+    result = run_once(benchmark, figure18.run)
+    emit("Figure 18: ProSE speedup over A100 / TPUv3 vs link bandwidth",
+         figure18.format_result(result))
+
+    nvlink2 = nvlink(2, 0.9).name
+
+    # "The BestPerf and the MostEfficient designs achieve a speedup of
+    # 3.9-4.7x over the A100 and 3.1-3.8x over TPUv3 with NVLink 2.0."
+    for name in ("BestPerf", "MostEfficient"):
+        assert 3.2 <= result.speedup(name, nvlink2, "A100") <= 5.5
+        assert 2.6 <= result.speedup(name, nvlink2, "TPUv3") <= 4.6
+
+    # "up to 6.9x speedup" over the A100 and "up to 5.5x" over TPUv3.
+    assert 5.5 <= result.max_speedup("A100") <= 9.0
+    assert 4.5 <= result.max_speedup("TPUv3") <= 7.5
+
+    # The "+" designs demand faster links: NVLink 3.0 buys BestPerf+ a
+    # real gain while BestPerf is already nearly saturated at NVLink 2.0.
+    nvlink3 = nvlink(3, 0.9).name
+    plus_gain = (result.speedup("BestPerf+", nvlink3, "A100")
+                 / result.speedup("BestPerf+", nvlink2, "A100"))
+    base_gain = (result.speedup("BestPerf", nvlink3, "A100")
+                 / result.speedup("BestPerf", nvlink2, "A100"))
+    assert plus_gain > 1.05
+    assert plus_gain > base_gain
+
+    # Homogeneous designs underperform heterogeneous ones at every link,
+    # including infinite bandwidth.
+    for link in (nvlink2, nvlink3, "Infinite"):
+        assert result.speedup("BestPerf", link, "A100") \
+            > result.speedup("Homogeneous", link, "A100")
+        assert result.speedup("BestPerf+", link, "A100") \
+            > result.speedup("Homogeneous+", link, "A100")

@@ -1,0 +1,34 @@
+"""Benchmark E-F19 — Figure 19: power efficiency vs link bandwidth."""
+
+from conftest import emit, run_once
+
+from repro.arch import nvlink
+from repro.experiments import figure19
+
+
+def test_figure19_efficiency_grid(benchmark):
+    result = run_once(benchmark, figure19.run)
+    emit("Figure 19: normalized power efficiency vs link bandwidth",
+         figure19.format_result(result))
+
+    nvlink2 = nvlink(2, 0.9).name
+
+    # One to two orders of magnitude over the commodity platforms: tens
+    # of times the A100, a couple hundred times TPUv3.
+    for name in ("BestPerf", "MostEfficient"):
+        assert 30 <= result.gain(name, nvlink2, "A100") <= 100
+        assert 120 <= result.gain(name, nvlink2, "TPUv3") <= 350
+
+    # TPUv3 gains exceed A100 gains everywhere (the Unified Buffer and
+    # board power make the TPU far less efficient).
+    for cell in result.cells:
+        if cell.baseline == "A100":
+            counterpart = result.gain(cell.config_name, cell.link_name,
+                                      "TPUv3")
+            assert counterpart > cell.efficiency_gain
+
+    # Heterogeneous designs are more efficient than homogeneous ones at
+    # matched links.
+    for link in (nvlink2, "Infinite"):
+        assert result.gain("BestPerf", link, "A100") \
+            > result.gain("Homogeneous", link, "A100")

@@ -1,0 +1,34 @@
+"""Benchmark E-F20 — Figure 20: empirical roofline vs bandwidth."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figure20
+
+
+def test_figure20_roofline(benchmark):
+    result = run_once(benchmark, figure20.run)
+    emit("Figure 20: BestPerf / BestPerf+ throughput vs link bandwidth",
+         figure20.format_result(result))
+
+    for name in ("BestPerf", "BestPerf+"):
+        curve = sorted(result.curve(name),
+                       key=lambda p: p.bandwidth_gbps)
+        throughputs = [p.throughput for p in curve]
+        # Monotone non-decreasing with bandwidth...
+        assert all(a <= b * 1.001 for a, b in zip(throughputs,
+                                                  throughputs[1:]))
+        # ...and saturating: the last doubling buys little.
+        assert throughputs[-1] < 1.15 * throughputs[-3]
+
+    # BestPerf+ has more compute and saturates at a higher bandwidth than
+    # BestPerf (the paper puts BestPerf+'s knee near 360 GB/s).
+    assert result.saturation_bandwidth("BestPerf+") \
+        >= result.saturation_bandwidth("BestPerf")
+    assert result.saturation_bandwidth("BestPerf+") >= 270
+
+    # With ample bandwidth the bigger design is strictly faster.
+    plus_curve = {p.bandwidth_gbps: p.throughput
+                  for p in result.curve("BestPerf+")}
+    base_curve = {p.bandwidth_gbps: p.throughput
+                  for p in result.curve("BestPerf")}
+    assert plus_curve[630] > base_curve[630]

@@ -1,0 +1,33 @@
+"""Benchmark E-SENS — robustness of the reproduced conclusions."""
+
+from conftest import emit, run_once
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_analysis(benchmark):
+    result = run_once(benchmark, sensitivity.run)
+    emit("Sensitivity: BestPerf speedup vs A100 under perturbations",
+         sensitivity.format_result(result))
+
+    # The headline conclusion — ProSE several times faster than one A100 —
+    # survives every single-knob perturbation.
+    low, high = result.global_range
+    assert low > 2.5
+    assert high < 8.0
+
+    # Host throughput barely matters (the host is not the bottleneck at
+    # the paper's operating point).
+    host_low, host_high = result.range_for("host throughput")
+    assert host_high / host_low < 1.1
+
+    # Lane partitioning is the most sensitive knob (the paper sweeps it
+    # in the DSE for exactly this reason), but stays within ~1.6x.
+    lane_low, lane_high = result.range_for("lane partition")
+    assert lane_high / lane_low < 1.8
+
+    # Batch size saturates once threads fill (>= 64 is flat).
+    batch_points = {p.setting: p.speedup_vs_a100
+                    for p in result.points if p.knob == "batch size"}
+    assert abs(batch_points["128"] - batch_points["64"]) \
+        < 0.1 * batch_points["64"]

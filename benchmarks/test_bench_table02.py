@@ -1,0 +1,37 @@
+"""Benchmark E-T2 — Table 2: systolic-array physical characteristics."""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.experiments import table02
+from repro.physical import TABLE2_ROWS
+
+
+def test_table02_physical_characteristics(benchmark):
+    rows = run_once(benchmark, table02.run)
+    emit("Table 2: synthesized frequency / power / area at 7 nm",
+         table02.format_result(rows))
+
+    # All ten published rows reproduce verbatim from the anchored model.
+    assert len(rows) == 10
+    for row in rows:
+        published = TABLE2_ROWS[(row.size, row.gelu, row.exp)]
+        assert row.frequency_mhz == published[0]
+        assert row.power_mw == published[1]
+
+    # Structural claims: LUT-equipped arrays close timing near 858-925
+    # MHz (setting the 800 MHz SIMD clock); plain arrays exceed 1.6 GHz.
+    for row in rows:
+        if row.gelu or row.exp:
+            assert 850 <= row.frequency_mhz <= 930
+        else:
+            assert row.frequency_mhz >= 1626
+
+    # Power grows superlinearly in array size (n^2 PEs dominate).
+    base = {r.size: r.power_mw for r in rows if not r.gelu and not r.exp}
+    assert base[64] > 3 * base[32] > 9 * base[16] * 0.9
+
+    # Every array is a tiny fraction of one A100 (<1% power, <0.4% area).
+    for row in rows:
+        assert row.percent_a100_power < 1.0
+        assert row.percent_a100_area < 0.4

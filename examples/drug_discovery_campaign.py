@@ -1,0 +1,67 @@
+"""Drug-discovery campaign: screen an antibody library end to end.
+
+The paper's motivating scenario (Sections 1-2): a therapeutic-antibody
+campaign scores a variant library against a disease target, where
+inference cost — not wet-lab throughput — gates how many candidates can
+be screened.  This example runs the whole story:
+
+1. generate a Fab variant library around a Herceptin-like scaffold;
+2. estimate the campaign's wall-clock and energy on ProSE vs an A100,
+   plus a realistic mixed-length UniProt-like workload for contrast;
+3. rank the library by predicted HER2 binding with the Section 2.2
+   downstream model and report the shortlist.
+
+Run:  python examples/drug_discovery_campaign.py
+"""
+
+from repro.binding import (
+    FeatureExtractor,
+    PcaRidgeModel,
+    default_extractor_config,
+)
+from repro.model import ProteinBert, pretrained_like_weights
+from repro.proteins import (
+    make_binding_dataset,
+    screening_campaign,
+    uniprot_like_workload,
+)
+from repro.system import CampaignSimulator, format_campaign
+
+
+def main() -> None:
+    print("== campaign cost: ProSE vs A100 ==")
+    simulator = CampaignSimulator(max_batch=32)
+    library = screening_campaign(library_size=128)
+    mixed = uniprot_like_workload(count=128, seed=9)
+    for workload in (library, mixed):
+        reports = [simulator.run_on_prose(workload),
+                   simulator.run_on_baseline(workload)]
+        print(f"\nworkload: {workload.name} "
+              f"({len(workload)} sequences, mean "
+              f"{workload.mean_length:.0f} residues)")
+        print(format_campaign(reports))
+        speedup = reports[1].total_seconds / reports[0].total_seconds
+        energy = (reports[1].total_energy_joules
+                  / reports[0].total_energy_joules)
+        print(f"ProSE advantage: {speedup:.1f}x time, {energy:.0f}x energy")
+
+    print("\n== shortlist: rank the library by predicted binding ==")
+    dataset = make_binding_dataset()
+    config = default_extractor_config()
+    model = ProteinBert(config,
+                        weights=pretrained_like_weights(config, seed=2022))
+    extractor = FeatureExtractor(model)
+    head = PcaRidgeModel().fit(extractor.extract(dataset.train_sequences),
+                               dataset.train_affinities)
+    predictions = head.predict(extractor.extract(dataset.test_sequences))
+    ranked = sorted(zip(dataset.test, predictions),
+                    key=lambda pair: pair[1], reverse=True)
+    print(f"{'rank':>4s} {'candidate':>12s} {'predicted':>10s} "
+          f"{'true':>8s}")
+    for rank, (variant, score) in enumerate(ranked[:5], start=1):
+        print(f"{rank:4d} {variant.name:>12s} {score:10.3f} "
+              f"{variant.affinity:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

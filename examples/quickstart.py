@@ -1,0 +1,33 @@
+"""Quickstart: simulate Protein BERT inference on ProSE.
+
+Builds the paper's BestPerf accelerator, runs one batched inference at the
+evaluation operating point (512 tokens, batch 128, NVLink 2.0 @ 90%), and
+compares throughput and power efficiency against the A100/TPU baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProSEEngine
+
+
+def main() -> None:
+    engine = ProSEEngine()   # BestPerf hardware, Protein BERT base model
+
+    report = engine.simulate(batch=128, seq_len=512)
+    print(f"configuration:    {report.config_name}")
+    print(f"throughput:       {report.throughput:8.1f} inferences/s")
+    print(f"batch latency:    {report.latency_seconds * 1e3:8.1f} ms")
+    print(f"system power:     {report.system_power_watts:8.1f} W")
+    print(f"power efficiency: {report.efficiency:8.2f} inferences/s/W")
+    print(f"bottleneck:       {report.schedule.bottleneck}")
+    print()
+
+    for baseline in (engine.a100, engine.tpu_v3, engine.tpu_v2):
+        comparison = engine.compare(baseline, batch=128, seq_len=512)
+        print(f"vs {comparison.baseline_name:6s}: "
+              f"{comparison.speedup:5.2f}x speedup, "
+              f"{comparison.efficiency_gain:6.1f}x power efficiency")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Sequence-length scaling: why protein inputs need new architecture.
+
+Sweeps input length from human-language scale (32 tokens) to protein
+scale (2048 tokens) and prints, per platform, the inference efficiency —
+the motivation study behind the paper's Figure 1 — plus the heterogeneous
+vs homogeneous comparison of Figure 4.
+
+Run:  python examples/sequence_length_scaling.py
+"""
+
+from repro.arch import best_perf, homogeneous
+from repro.baselines import a100, best_batch_for_length, tpu_v2, tpu_v3
+from repro.core import ProSEEngine
+from repro.model import protein_bert_base
+from repro.sched import Orchestrator
+
+LENGTHS = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+def main() -> None:
+    config = protein_bert_base()
+    engine = ProSEEngine(model_config=config)
+    devices = (("A100", a100()), ("TPUv2", tpu_v2()), ("TPUv3", tpu_v3()))
+
+    print("== inference efficiency (inferences/s/W) vs length ==")
+    print(f"{'seq':>5s} {'A100':>9s} {'TPUv2':>9s} {'TPUv3':>9s} "
+          f"{'ProSE':>9s}")
+    for seq_len in LENGTHS:
+        batch = best_batch_for_length(seq_len)
+        row = [device.efficiency(config, batch, seq_len,
+                                 accelerated_only=False)
+               for _, device in devices]
+        prose = engine.simulate(batch=64, seq_len=seq_len)
+        print(f"{seq_len:5d} " + " ".join(f"{v:9.3f}" for v in row)
+              + f" {prose.efficiency:9.3f}")
+
+    print("\n== heterogeneous vs homogeneous (ms per inference) ==")
+    hetero = Orchestrator(best_perf())
+    homog = Orchestrator(homogeneous())
+    print(f"{'seq':>5s} {'ProSE':>9s} {'Homog':>9s} {'ratio':>6s}")
+    for seq_len in LENGTHS:
+        r1 = hetero.run(config, batch=64, seq_len=seq_len)
+        r2 = homog.run(config, batch=64, seq_len=seq_len)
+        m1 = r1.makespan_seconds / 64 * 1e3
+        m2 = r2.makespan_seconds / 64 * 1e3
+        print(f"{seq_len:5d} {m1:9.3f} {m2:9.3f} {m2 / m1:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setup shim: enables legacy editable installs on offline machines.
+
+The environment this repository targets has no network access and no
+``wheel`` package, so PEP 660 editable wheels cannot be built.  ``pip
+install -e . --no-build-isolation`` falls back to ``setup.py develop``
+through this shim.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("ProSE: a protein discovery engine (ASPLOS 2022) — "
+                 "full Python reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    entry_points={
+        "console_scripts": ["prose-repro=repro.cli:main"],
+    },
+)

@@ -1,0 +1,53 @@
+"""repro — a from-scratch Python reproduction of ProSE (ASPLOS 2022).
+
+ProSE (Protein Systolic Engine) is a heterogeneous streaming-systolic-array
+accelerator for Protein BERT inference.  This package rebuilds the paper's
+entire system stack: the Protein BERT model, the ATen-style tracer and
+dataflow compiler, the functional and cycle-level accelerator simulators,
+the physical (power/area) model, the commodity baselines, the design-space
+exploration, and the in-silico protein binding study.
+
+Quickstart:
+
+    >>> from repro import ProSEEngine
+    >>> report = ProSEEngine().simulate(batch=128, seq_len=512)
+    >>> print(report.throughput, "inferences/s")
+"""
+
+from .core import (
+    Comparison,
+    HardwareConfig,
+    InferenceReport,
+    ProSEEngine,
+    best_perf,
+    best_perf_plus,
+    homogeneous,
+    homogeneous_plus,
+    most_efficient,
+    most_efficient_plus,
+    table4_configs,
+)
+from .model import BertConfig, ProteinBert, protein_bert_base, protein_bert_tiny
+from .proteins import ProteinTokenizer, SequenceGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BertConfig",
+    "Comparison",
+    "HardwareConfig",
+    "InferenceReport",
+    "ProSEEngine",
+    "ProteinBert",
+    "ProteinTokenizer",
+    "SequenceGenerator",
+    "best_perf",
+    "best_perf_plus",
+    "homogeneous",
+    "homogeneous_plus",
+    "most_efficient",
+    "most_efficient_plus",
+    "protein_bert_base",
+    "protein_bert_tiny",
+    "table4_configs",
+]

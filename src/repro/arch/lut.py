@@ -1,0 +1,192 @@
+"""Two-level indexed lookup tables for GELU and Exp (Figures 12-14).
+
+ProSE implements its special functions as per-ALU lookup tables over the
+bfloat16 input domain.  A bfloat16 value has 1 sign, 8 exponent, and 7
+mantissa bits; the two-level lookup indexes first on (sign, exponent) to
+select a 128-entry second-level table, then on the mantissa — one lookup
+per cycle.
+
+Only a window of exponents is stored (Figure 13/14):
+
+* GELU stores unbiased exponents in ``[-4, 3]``.  Below the window the
+  output is approximated as 0; above it, by the identity for positive
+  inputs (GELU(x) → x) and 0 for negative inputs.
+* Exp stores unbiased exponents in ``[-6, 5]``.  Below the window
+  exp(x) ≈ 1; above it the output saturates (largest-finite bfloat16 for
+  positive x, 0 for negative x).
+
+With bfloat16 (2-byte) entries this yields exactly the table sizes the
+paper reports: GELU 8 exponents × 2 signs × 128 × 2 B = 4 KB, and Exp
+12 × 2 × 128 × 2 B = 6 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..model.activations import exp as exp_reference
+from ..model.activations import gelu as gelu_reference
+from ..model.tensors import (
+    BF16_MANTISSA_BITS,
+    EXPONENT_BIAS,
+    bf16_compose,
+    to_bfloat16,
+)
+
+#: Largest finite bfloat16 magnitude (used to saturate Exp overflow).
+BF16_MAX = float(bf16_compose(0, 0xFE, (1 << BF16_MANTISSA_BITS) - 1))
+
+#: Unbiased exponent windows from Figures 13 and 14.
+GELU_EXPONENT_WINDOW: Tuple[int, int] = (-4, 3)
+EXP_EXPONENT_WINDOW: Tuple[int, int] = (-6, 5)
+
+#: Second-level table length: one entry per mantissa pattern.
+MANTISSA_ENTRIES = 1 << BF16_MANTISSA_BITS
+
+
+@dataclass(frozen=True)
+class LutSpec:
+    """Static description of one special-function lookup table."""
+
+    name: str
+    exponent_window: Tuple[int, int]
+    reference: Callable[[np.ndarray], np.ndarray]
+    #: Outputs for inputs below the window (too small in magnitude).
+    below_positive: float
+    below_negative: float
+    #: Outputs for inputs above the window.  ``None`` means "identity".
+    above_positive: float = None  # type: ignore[assignment]
+    above_negative: float = 0.0
+
+    @property
+    def num_exponents(self) -> int:
+        low, high = self.exponent_window
+        return high - low + 1
+
+    @property
+    def table_bytes(self) -> int:
+        """Total storage: signs × exponents × mantissa entries × 2 bytes."""
+        return 2 * self.num_exponents * MANTISSA_ENTRIES * 2
+
+
+GELU_SPEC = LutSpec(
+    name="gelu",
+    exponent_window=GELU_EXPONENT_WINDOW,
+    reference=gelu_reference,
+    below_positive=0.0,
+    below_negative=0.0,
+    above_positive=None,   # identity: GELU(x) -> x for large x
+    above_negative=0.0,    # GELU(x) -> 0 for very negative x
+)
+
+EXP_SPEC = LutSpec(
+    name="exp",
+    exponent_window=EXP_EXPONENT_WINDOW,
+    reference=exp_reference,
+    below_positive=1.0,    # exp(x) -> 1 as |x| -> 0
+    below_negative=1.0,
+    above_positive=BF16_MAX,
+    above_negative=0.0,
+)
+
+
+class SpecialFunctionLut:
+    """A populated two-level lookup table evaluating one special function.
+
+    The table is built once from the float reference, rounding each entry
+    to bfloat16 — exactly what the synthesis flow would burn into SRAM/ROM.
+
+    Args:
+        spec: which function and window to build.
+    """
+
+    def __init__(self, spec: LutSpec) -> None:
+        self.spec = spec
+        low, high = spec.exponent_window
+        # First level: (sign, biased exponent) -> second-level table.
+        self._tables: Dict[Tuple[int, int], np.ndarray] = {}
+        for sign in (0, 1):
+            for unbiased in range(low, high + 1):
+                biased = unbiased + EXPONENT_BIAS
+                inputs = np.array(
+                    [bf16_compose(sign, biased, m)
+                     for m in range(MANTISSA_ENTRIES)], dtype=np.float32)
+                outputs = to_bfloat16(spec.reference(inputs))
+                self._tables[(sign, biased)] = outputs
+
+    @property
+    def table_bytes(self) -> int:
+        """Bytes of LUT storage (4 KB for GELU, 6 KB for Exp)."""
+        return self.spec.table_bytes
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._tables) * MANTISSA_ENTRIES
+
+    def lookup_scalar(self, value: float) -> float:
+        """Evaluate the function for one bfloat16 input (1-cycle path)."""
+        result = self.lookup(np.array([value], dtype=np.float32))
+        return float(result[0])
+
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized table evaluation over bfloat16 inputs.
+
+        Inputs are first rounded to bfloat16 (the datapath carries bf16), the
+        (sign, exponent, mantissa) fields are extracted, and each element is
+        routed to the in-window table or the out-of-window approximation.
+        """
+        spec = self.spec
+        array = to_bfloat16(np.asarray(values, dtype=np.float32))
+        flat = np.ascontiguousarray(array).ravel()
+        bits = flat.view(np.uint32)
+        signs = (bits >> np.uint32(31)) & np.uint32(1)
+        exponents = ((bits >> np.uint32(23)) & np.uint32(0xFF)).astype(np.int64)
+        mantissas = ((bits >> np.uint32(23 - BF16_MANTISSA_BITS))
+                     & np.uint32(MANTISSA_ENTRIES - 1)).astype(np.int64)
+        unbiased = exponents - EXPONENT_BIAS
+
+        low, high = spec.exponent_window
+        output = np.empty_like(flat)
+
+        below = unbiased < low
+        output[below & (signs == 0)] = spec.below_positive
+        output[below & (signs == 1)] = spec.below_negative
+
+        above = unbiased > high
+        above_pos = above & (signs == 0)
+        if spec.above_positive is None:
+            output[above_pos] = flat[above_pos]
+        else:
+            output[above_pos] = spec.above_positive
+        output[above & (signs == 1)] = spec.above_negative
+
+        in_window = ~(below | above)
+        if in_window.any():
+            # Group by (sign, exponent) so each second-level table is hit
+            # with one gather — mirrors the hardware's two-level indexing.
+            keys = signs[in_window] * 512 + exponents[in_window]
+            positions = np.flatnonzero(in_window)
+            for key in np.unique(keys):
+                sign, biased = int(key) // 512, int(key) % 512
+                select = positions[keys == key]
+                table = self._tables[(sign, biased)]
+                output[select] = table[mantissas[select]]
+        return output.reshape(np.shape(array))
+
+    def max_absolute_error(self, values: np.ndarray) -> float:
+        """Worst-case |LUT - float reference| over ``values``."""
+        reference = self.spec.reference(np.asarray(values, dtype=np.float32))
+        return float(np.max(np.abs(self.lookup(values) - reference)))
+
+
+def make_gelu_lut() -> SpecialFunctionLut:
+    """Build the 4 KB GELU lookup table."""
+    return SpecialFunctionLut(GELU_SPEC)
+
+
+def make_exp_lut() -> SpecialFunctionLut:
+    """Build the 6 KB Exp lookup table."""
+    return SpecialFunctionLut(EXP_SPEC)

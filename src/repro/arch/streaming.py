@@ -1,0 +1,131 @@
+"""Streaming input buffers and their Little's-law sizing check.
+
+Each ProSE systolic array front-ends its two operand streams with 8-deep
+streaming buffers (Figure 10a).  The paper validates the depth "using
+Little's Law and our performance model": the buffer must hold enough
+in-flight elements to cover the host-link round-trip latency at the
+provisioned per-array bandwidth, so the array never starves while a
+transfer is in flight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..model.tensors import to_bfloat16
+
+#: Depth of the streaming buffers in the shipped ProSE design.
+DEFAULT_DEPTH = 8
+
+#: Bytes per buffered element (one bfloat16 operand row-slice entry).
+ELEMENT_BYTES = 2
+
+#: Credit-return / flow-control round trip on the accelerator card.  A
+#: continuously streaming link never stops, so the buffer only has to
+#: absorb the local handshake latency between the per-type I/O buffer and
+#: the array edge — not the full microsecond-scale NVLink end-to-end
+#: latency (whose bandwidth-delay product the host-side I/O buffer covers).
+FLOW_CONTROL_LATENCY_SECONDS = 20e-9
+
+
+@dataclass(frozen=True)
+class StreamingRequirement:
+    """Result of the Little's-law sizing analysis for one array.
+
+    Attributes:
+        arrival_rate: buffer entries consumed per second in steady state.
+        latency_seconds: link round-trip latency the buffer must cover.
+        required_depth: minimum entries (arrival rate × latency, ceil).
+        provisioned_depth: entries actually provisioned.
+    """
+
+    arrival_rate: float
+    latency_seconds: float
+    required_depth: int
+    provisioned_depth: int = DEFAULT_DEPTH
+
+    @property
+    def sufficient(self) -> bool:
+        return self.provisioned_depth >= self.required_depth
+
+
+def littles_law_depth(per_array_bandwidth: float,
+                      link_latency: float = FLOW_CONTROL_LATENCY_SECONDS,
+                      array_size: int = 16, frequency: float = 1.6e9,
+                      depth: int = DEFAULT_DEPTH) -> StreamingRequirement:
+    """Size a streaming buffer via Little's law (L = λ·W).
+
+    The buffer is organised as entries of one operand column-slice
+    (``array_size`` bfloat16 values).  In steady state the array consumes at
+    most one entry per matmul cycle, but never faster than the link can
+    deliver, so the occupancy the buffer must absorb is the *delivery* rate
+    times the latency the buffer must hide — the on-card flow-control
+    round trip (the continuous stream itself never stops, so the NVLink
+    end-to-end latency is pipelined away).
+
+    Args:
+        per_array_bandwidth: bytes/second the link share delivers.
+        link_latency: latency in seconds the buffer must hide (default:
+            the on-card credit-return round trip).
+        array_size: n for an n×n array (entry width).
+        frequency: matmul clock in Hz.
+        depth: provisioned depth to check (paper: 8).
+    """
+    if min(per_array_bandwidth, link_latency, array_size, frequency) <= 0:
+        raise ValueError("all streaming parameters must be positive")
+    entry_bytes = array_size * ELEMENT_BYTES
+    delivery_rate = per_array_bandwidth / entry_bytes      # entries / second
+    consumption_rate = frequency                           # entries / second
+    arrival_rate = min(delivery_rate, consumption_rate)
+    required = math.ceil(arrival_rate * link_latency)
+    return StreamingRequirement(arrival_rate=arrival_rate,
+                                latency_seconds=link_latency,
+                                required_depth=required,
+                                provisioned_depth=depth)
+
+
+class StreamingBuffer:
+    """A functional FIFO matching the 8-deep register streaming buffer."""
+
+    def __init__(self, depth: int = DEFAULT_DEPTH, width: int = 16) -> None:
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self._entries: List[np.ndarray] = []
+        self.total_pushed = 0
+        self.stall_count = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: np.ndarray) -> bool:
+        """Enqueue one operand slice; returns False (stall) when full."""
+        if self.full:
+            self.stall_count += 1
+            return False
+        entry = np.asarray(entry, dtype=np.float32)
+        if entry.shape != (self.width,):
+            raise ValueError(f"entry must have width {self.width}")
+        self._entries.append(to_bfloat16(entry))
+        self.total_pushed += 1
+        return True
+
+    def pop(self) -> np.ndarray:
+        """Dequeue the oldest operand slice."""
+        if self.empty:
+            raise IndexError("pop from empty streaming buffer")
+        return self._entries.pop(0)

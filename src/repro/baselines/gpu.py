@@ -1,0 +1,76 @@
+"""NVIDIA A100 baseline model (Table 1 platform).
+
+Public device parameters (A100-SXM4-40GB): 312 TFLOPS bf16 tensor-core
+peak, 1555 GB/s HBM2 bandwidth, measured power 395 W under ProteinBERT
+load (the paper's nvidia-smi reading; published TDP 400 W).
+
+PyTorch executes the model as a stream of ATen kernels: GEMMs hit the
+tensor cores with shape-dependent utilization (small attention dot
+products underutilize the 4×4×8 MMA pipes badly — the mismatch the paper
+highlights), and elementwise/softmax kernels are memory-bound over fp32
+intermediates.  The two framework-efficiency scalars are calibrated so the
+seq-512/batch-128 accelerated-portion throughput matches the paper's
+published ProSE:A100 speedup ratio (DESIGN.md, "Calibration targets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .roofline import DeviceSpec, RooflineDevice, saturating
+
+#: Published A100 specs.
+A100_PEAK_BF16_FLOPS = 312e12
+A100_MEMORY_BANDWIDTH = 1555e9
+A100_MEASURED_POWER_WATTS = 395.0
+
+#: Table 1: host of the A100 platform (for documentation/tests).
+A100_PLATFORM: Dict[str, str] = {
+    "Host Processor": "Intel Xeon 96C, 3GHz",
+    "Memory": "1152GiB DDR4",
+    "GPU": "A100-SXM4 6912 CUDA Cores, 432 Tensor Cores",
+    "GPU Memory": "40GiB HBM2",
+    "External Interface": "NVLink 3.0",
+}
+
+#: Calibrated fraction of tensor-core peak through PyTorch on large GEMMs.
+A100_MATMUL_EFFICIENCY = 0.0607
+
+#: Calibrated fraction of HBM peak for unfused elementwise kernels.
+A100_ELEMENTWISE_EFFICIENCY = 0.1131
+
+#: CUDA kernel launch + framework dispatch overhead.
+A100_KERNEL_OVERHEAD = 6e-6
+
+
+def _a100_matmul_utilization(m: int, k: int, n: int) -> float:
+    """Tensor-core utilization vs GEMM shape.
+
+    Saturates for large well-aligned GEMMs; collapses for the short-k
+    attention dot products (k = 64) that fall between the tensor core's
+    4×4×8 tiles and efficient software tiling.
+    """
+    return (saturating(m, 256.0) * saturating(k, 192.0)
+            * saturating(n, 128.0))
+
+
+def a100_spec() -> DeviceSpec:
+    """The calibrated A100 device specification."""
+    return DeviceSpec(
+        name="A100",
+        peak_matmul_flops=A100_PEAK_BF16_FLOPS,
+        memory_bandwidth=A100_MEMORY_BANDWIDTH,
+        tdp_watts=A100_MEASURED_POWER_WATTS,
+        matmul_efficiency=A100_MATMUL_EFFICIENCY,
+        elementwise_efficiency=A100_ELEMENTWISE_EFFICIENCY,
+        elementwise_bytes=4,
+        kernel_overhead=A100_KERNEL_OVERHEAD,
+        gelu_expansion=1,
+        softmax_passes=4,
+        matmul_utilization=_a100_matmul_utilization)
+
+
+def a100() -> RooflineDevice:
+    """An evaluable A100 baseline."""
+    return RooflineDevice(a100_spec())

@@ -1,0 +1,169 @@
+"""Generic roofline + utilization model for commodity baselines.
+
+The paper *measures* the A100 and TPU systems; we rebuild them as analytic
+models: every traced op costs the max of its compute time (peak throughput
+× a shape-dependent utilization) and its memory time (bytes at effective
+bandwidth), plus a per-kernel launch overhead.  Two scalar efficiency
+knobs per device are calibrated against the paper's published end-to-end
+ratios (see DESIGN.md, "Calibration targets"); everything else is derived
+from public device specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..model.config import BertConfig
+from ..trace.ops import Op, OpKind
+from ..trace.tracer import TraceSpec, trace_model
+
+#: Op kinds in the paper's "Other" category — excluded when comparing
+#: "the accelerated portions" (Section 4.1).
+OTHER_KINDS = (OpKind.LAYERNORM, OpKind.EMBEDDING, OpKind.TRANSPOSE,
+               OpKind.OTHER)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of one commodity baseline device.
+
+    Attributes:
+        name: device label.
+        peak_matmul_flops: peak tensor/MXU throughput (FLOPs/s).
+        memory_bandwidth: peak memory bandwidth (bytes/s).
+        tdp_watts: power charged to the device (published TDP / measured).
+        matmul_efficiency: calibrated fraction of peak reachable on large,
+            well-shaped GEMMs through the framework stack.
+        elementwise_efficiency: calibrated fraction of peak memory
+            bandwidth for streaming elementwise kernels.
+        elementwise_bytes: bytes per element for intermediate tensors
+            (4 for fp32 PyTorch intermediates on the GPU).
+        kernel_overhead: per-kernel launch latency in seconds.
+        gelu_expansion: elementwise passes needed for GELU (the TPU lacks a
+            GELU unit and expands it into 10+ MulAdd operations).
+        softmax_passes: memory passes for a softmax kernel.
+        matmul_utilization: shape-dependent GEMM utilization in (0, 1].
+    """
+
+    name: str
+    peak_matmul_flops: float
+    memory_bandwidth: float
+    tdp_watts: float
+    matmul_efficiency: float
+    elementwise_efficiency: float
+    elementwise_bytes: int
+    kernel_overhead: float
+    gelu_expansion: int
+    softmax_passes: int
+    matmul_utilization: Callable[[int, int, int], float]
+
+    def __post_init__(self) -> None:
+        if min(self.peak_matmul_flops, self.memory_bandwidth,
+               self.tdp_watts) <= 0:
+            raise ValueError("device peaks must be positive")
+        if not 0 < self.matmul_efficiency <= 1:
+            raise ValueError("matmul_efficiency must be in (0, 1]")
+        if not 0 < self.elementwise_efficiency <= 1:
+            raise ValueError("elementwise_efficiency must be in (0, 1]")
+
+
+class RooflineDevice:
+    """Evaluates traced op streams on a :class:`DeviceSpec`."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    def op_seconds(self, op: Op) -> float:
+        """Latency of one traced op on this device."""
+        spec = self.spec
+        if op.kind in (OpKind.MATMUL, OpKind.BMM):
+            if op.kind is OpKind.MATMUL:
+                m, k, n = op.shape
+                batch = 1
+            else:
+                batch, m, k, n = op.shape
+            utilization = spec.matmul_utilization(m, k, n)
+            effective = (spec.peak_matmul_flops * spec.matmul_efficiency
+                         * utilization)
+            compute = op.flops / effective
+            memory = (op.bytes_moved(2) / spec.memory_bandwidth)
+            return max(compute, memory) + spec.kernel_overhead
+
+        bandwidth = spec.memory_bandwidth * spec.elementwise_efficiency
+        elements = op.elements
+        if op.kind is OpKind.SOFTMAX:
+            passes = spec.softmax_passes
+            # Softmax reads/writes the full scores tensor, not the reduced
+            # output: use the input element count.
+            elements = 1
+            for dim in op.shape:
+                elements *= dim
+        elif op.kind in (OpKind.GELU, OpKind.TANH):
+            passes = 2 * spec.gelu_expansion
+            elements = 1
+            for dim in op.shape:
+                elements *= dim
+        elif op.kind in (OpKind.ADD, OpKind.MUL, OpKind.DIV):
+            passes = 3       # two operands in, one result out
+        elif op.kind is OpKind.LAYERNORM:
+            passes = 4       # stats pass + normalize pass
+            elements = 1
+            for dim in op.shape:
+                elements *= dim
+        elif op.kind in (OpKind.EXP, OpKind.SUM):
+            passes = 2
+        else:                # EMBEDDING / TRANSPOSE / OTHER
+            passes = 2
+        seconds = passes * elements * spec.elementwise_bytes / bandwidth
+        return seconds + spec.kernel_overhead
+
+    def batch_seconds(self, ops: Sequence[Op],
+                      accelerated_only: bool = True) -> float:
+        """Total time for one batched inference's op stream."""
+        total = 0.0
+        for op in ops:
+            if accelerated_only and op.kind in OTHER_KINDS:
+                continue
+            total += self.op_seconds(op)
+        return total
+
+    def category_seconds(self, ops: Sequence[Op]) -> Dict[str, float]:
+        """Per-Figure-3-category time totals (for the runtime breakdown)."""
+        totals: Dict[str, float] = {}
+        for op in ops:
+            category = op.figure3_category
+            totals[category] = totals.get(category, 0.0) + self.op_seconds(op)
+        return totals
+
+    def throughput(self, config: BertConfig, batch: int, seq_len: int,
+                   accelerated_only: bool = True) -> float:
+        """Inferences per second at the given batch and length."""
+        ops = trace_model(TraceSpec(config=config, batch=batch,
+                                    seq_len=seq_len))
+        return batch / self.batch_seconds(ops, accelerated_only)
+
+    def efficiency(self, config: BertConfig, batch: int, seq_len: int,
+                   accelerated_only: bool = True) -> float:
+        """Inferences per second per Watt (the Figure 1 metric)."""
+        return (self.throughput(config, batch, seq_len, accelerated_only)
+                / self.spec.tdp_watts)
+
+
+def saturating(value: int, half_point: float) -> float:
+    """Utilization curve value/(value + half_point) in (0, 1)."""
+    return value / (value + half_point)
+
+
+def best_batch_for_length(seq_len: int) -> int:
+    """The paper's per-length A100 profiling batch sizes (Section 2.3)."""
+    table = {32: 24576, 64: 12288, 128: 6144, 256: 2048, 512: 512,
+             1024: 128, 2048: 64}
+    if seq_len in table:
+        return table[seq_len]
+    # Interpolate geometrically for unlisted lengths; memory-bound scaling.
+    best: List[int] = sorted(table)
+    for known in best:
+        if seq_len < known:
+            return table[known]
+    return table[best[-1]]

@@ -1,0 +1,103 @@
+"""Google TPUv2 / TPUv3 baseline models.
+
+One TPU "instance" as the paper measures it is a 4-chip board: TPUv3 has 8
+cores × 2 MXUs... in the paper's accounting, 262K PEs total and a published
+board TDP the paper quotes as 280 W/chip for v2 (1120 W/board); TPUv3 runs
+hotter (≈450 W/chip, 1800 W/board).
+
+The model captures the TPU's two structural weaknesses on long-input
+BERT-style models:
+
+* weight-stationary 128×128 MXUs pad short-k GEMMs (the k = 64 attention
+  dot products waste half the array) and pay fill/drain per tile;
+* no GELU unit — the activation expands into "10+ MulAdd operations"
+  through the Unified Buffer (global dataflow), and elementwise traffic in
+  general round-trips the UB at modest effective bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .roofline import DeviceSpec, RooflineDevice, saturating
+
+#: Published board-level peaks (4-chip devices, as measured in the paper).
+TPUV3_PEAK_FLOPS = 420e12
+TPUV2_PEAK_FLOPS = 180e12
+
+#: Board HBM bandwidth: v3 = 4 chips × 900 GB/s, v2 = 4 × 700 GB/s.
+TPUV3_MEMORY_BANDWIDTH = 3600e9
+TPUV2_MEMORY_BANDWIDTH = 2800e9
+
+#: Power: the paper uses published TDPs (no measurement tooling exists).
+TPUV2_POWER_WATTS = 1120.0
+TPUV3_POWER_WATTS = 1800.0
+
+#: MXU dimension shared by TPUv2 and TPUv3.
+MXU_SIZE = 128
+
+#: Calibrated framework efficiencies (see DESIGN.md calibration targets).
+TPUV3_MATMUL_EFFICIENCY = 0.0327
+TPUV2_MATMUL_EFFICIENCY = 0.0330
+TPUV3_ELEMENTWISE_EFFICIENCY = 0.0547
+TPUV2_ELEMENTWISE_EFFICIENCY = 0.0305
+
+#: XLA executes fused graphs: fewer, heavier kernels than PyTorch.
+TPU_KERNEL_OVERHEAD = 10e-6
+
+#: GELU expands into 10+ MulAdds on the TPU (paper Section 3.2).
+TPU_GELU_EXPANSION = 10
+
+
+def _mxu_utilization(m: int, k: int, n: int) -> float:
+    """Weight-stationary 128×128 MXU utilization vs GEMM shape.
+
+    The array pads k and n up to multiples of 128 (a k = 64 dot product
+    occupies half the rows with zeros) and pays a fill/drain ramp in m.
+    """
+    k_util = k / (MXU_SIZE * math.ceil(k / MXU_SIZE))
+    n_util = n / (MXU_SIZE * math.ceil(n / MXU_SIZE))
+    m_util = saturating(m, float(MXU_SIZE))
+    return k_util * n_util * m_util
+
+
+def tpu_v3_spec() -> DeviceSpec:
+    """The calibrated TPUv3 (4-chip board) specification."""
+    return DeviceSpec(
+        name="TPUv3",
+        peak_matmul_flops=TPUV3_PEAK_FLOPS,
+        memory_bandwidth=TPUV3_MEMORY_BANDWIDTH,
+        tdp_watts=TPUV3_POWER_WATTS,
+        matmul_efficiency=TPUV3_MATMUL_EFFICIENCY,
+        elementwise_efficiency=TPUV3_ELEMENTWISE_EFFICIENCY,
+        elementwise_bytes=2,
+        kernel_overhead=TPU_KERNEL_OVERHEAD,
+        gelu_expansion=TPU_GELU_EXPANSION,
+        softmax_passes=4,
+        matmul_utilization=_mxu_utilization)
+
+
+def tpu_v2_spec() -> DeviceSpec:
+    """The calibrated TPUv2 (4-chip board) specification."""
+    return DeviceSpec(
+        name="TPUv2",
+        peak_matmul_flops=TPUV2_PEAK_FLOPS,
+        memory_bandwidth=TPUV2_MEMORY_BANDWIDTH,
+        tdp_watts=TPUV2_POWER_WATTS,
+        matmul_efficiency=TPUV2_MATMUL_EFFICIENCY,
+        elementwise_efficiency=TPUV2_ELEMENTWISE_EFFICIENCY,
+        elementwise_bytes=2,
+        kernel_overhead=TPU_KERNEL_OVERHEAD,
+        gelu_expansion=TPU_GELU_EXPANSION,
+        softmax_passes=4,
+        matmul_utilization=_mxu_utilization)
+
+
+def tpu_v3() -> RooflineDevice:
+    """An evaluable TPUv3 baseline."""
+    return RooflineDevice(tpu_v3_spec())
+
+
+def tpu_v2() -> RooflineDevice:
+    """An evaluable TPUv2 baseline."""
+    return RooflineDevice(tpu_v2_spec())

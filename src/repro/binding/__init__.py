@@ -1,0 +1,24 @@
+"""The in-silico binding-affinity study (Section 2.2)."""
+
+from .experiment import (
+    PAPER_RANK_CORRELATION,
+    BindingStudyResult,
+    default_extractor_config,
+    run_binding_study,
+)
+from .features import FeatureExtractor
+from .metrics import pearson, rankdata, spearman
+from .regression import PcaRidgeModel, RidgeRegression
+
+__all__ = [
+    "PAPER_RANK_CORRELATION",
+    "BindingStudyResult",
+    "FeatureExtractor",
+    "PcaRidgeModel",
+    "RidgeRegression",
+    "default_extractor_config",
+    "pearson",
+    "rankdata",
+    "run_binding_study",
+    "spearman",
+]

@@ -1,0 +1,65 @@
+"""Rank-correlation metrics for the binding-affinity study.
+
+The paper measures test-set accuracy with rank correlation — "a statistic
+that measures the degree of similarity between different rankings of the
+same variables" — reporting 0.5161 for the Herceptin→BH1 transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Ranks (1-based) with ties averaged, matching scipy.stats.rankdata."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("rankdata expects a 1-D sequence")
+    order = np.argsort(array, kind="mergesort")
+    ranks = np.empty(len(array), dtype=np.float64)
+    ranks[order] = np.arange(1, len(array) + 1)
+    # Average ranks within tie groups.
+    sorted_values = array[order]
+    index = 0
+    while index < len(array):
+        stop = index
+        while (stop + 1 < len(array)
+               and sorted_values[stop + 1] == sorted_values[index]):
+            stop += 1
+        if stop > index:
+            mean_rank = ranks[order[index:stop + 1]].mean()
+            ranks[order[index:stop + 1]] = mean_rank
+        index = stop + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation between two equal-length sequences."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("spearman expects two equal-length 1-D sequences")
+    if len(x) < 2:
+        raise ValueError("spearman needs at least two observations")
+    rx, ry = rankdata(x), rankdata(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx ** 2).sum() * (ry ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((rx * ry).sum() / denom)
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation (secondary metric for the study)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("pearson expects two equal-length 1-D sequences")
+    xc, yc = x - x.mean(), y - y.mean()
+    denom = np.sqrt((xc ** 2).sum() * (yc ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((xc * yc).sum() / denom)

@@ -1,0 +1,170 @@
+"""Command-line interface for the ProSE reproduction.
+
+    python -m repro.cli simulate --batch 128 --seq-len 512
+    python -m repro.cli compare --baseline a100
+    python -m repro.cli experiments --only "Figure 18"
+    python -m repro.cli dse --limit 40
+    python -m repro.cli binding
+    python -m repro.cli embed MEYQKLVIV ACDEFGHIK
+    python -m repro.cli zoo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch.config import HardwareConfig, table4_configs
+from .core.engine import ProSEEngine
+from .core.session import InferenceSession
+from .model.zoo import describe, zoo_names
+
+
+def _hardware_by_name(name: str) -> HardwareConfig:
+    for config in table4_configs():
+        if config.name.lower() == name.lower():
+            return config
+    names = ", ".join(config.name for config in table4_configs())
+    raise SystemExit(f"unknown hardware '{name}'; choose from: {names}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    engine = ProSEEngine(hardware=_hardware_by_name(args.hardware))
+    report = engine.simulate(batch=args.batch, seq_len=args.seq_len,
+                             threads=args.threads)
+    print(f"configuration:    {report.config_name}")
+    print(f"throughput:       {report.throughput:.1f} inferences/s")
+    print(f"batch latency:    {report.latency_seconds * 1e3:.1f} ms")
+    print(f"system power:     {report.system_power_watts:.1f} W")
+    print(f"efficiency:       {report.efficiency:.2f} inf/s/W")
+    print(f"bottleneck:       {report.schedule.bottleneck}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    engine = ProSEEngine(hardware=_hardware_by_name(args.hardware))
+    devices = {"a100": engine.a100, "tpuv2": engine.tpu_v2,
+               "tpuv3": engine.tpu_v3}
+    names = [args.baseline] if args.baseline != "all" else list(devices)
+    for name in names:
+        comparison = engine.compare(devices[name], batch=args.batch,
+                                    seq_len=args.seq_len)
+        print(f"vs {comparison.baseline_name:6s}: "
+              f"{comparison.speedup:5.2f}x speedup, "
+              f"{comparison.efficiency_gain:7.1f}x power efficiency")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_all
+
+    run_all(only=args.only or None)
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from .dse.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(batch=args.batch,
+                                   seq_len=args.seq_len)
+    result = explorer.sweep(limit=args.limit)
+    print(f"evaluated {len(result.points)} configurations")
+    for label, point in (("BestPerf", result.best_perf),
+                         ("MostPowerEfficient",
+                          result.most_power_efficient),
+                         ("MostAreaEfficient",
+                          result.most_area_efficient)):
+        print(f"{label:>20s}: {point.config.name} "
+              f"runtime(norm)={point.normalized_runtime:.3f} "
+              f"power={point.power_watts:.2f}W "
+              f"area={point.area_mm2:.2f}mm2")
+    return 0
+
+
+def cmd_binding(args: argparse.Namespace) -> int:
+    from .binding.experiment import run_binding_study
+    from .experiments.binding_study import format_result
+
+    print(format_result(run_binding_study(seed=args.seed)))
+    return 0
+
+
+def cmd_embed(args: argparse.Namespace) -> int:
+    session = InferenceSession.small(functional=args.functional)
+    result = session.embed(args.sequences)
+    print(f"embedded {len(args.sequences)} sequences -> "
+          f"{result.embeddings.shape[1]}-d features "
+          f"({'functional datapath' if result.functional else 'reference'})")
+    print(f"estimated ProSE latency: "
+          f"{result.estimated_latency_seconds * 1e3:.3f} ms, energy: "
+          f"{result.estimated_energy_joules * 1e3:.2f} mJ")
+    for sequence, row in zip(args.sequences, result.embeddings):
+        head = " ".join(f"{value:+.3f}" for value in row[:4])
+        print(f"  {sequence[:20]:<22s} [{head} ...]")
+    return 0
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    for name in zoo_names():
+        print(describe(name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ProSE (ASPLOS 2022) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate",
+                              help="cycle-level ProSE simulation")
+    simulate.add_argument("--hardware", default="BestPerf")
+    simulate.add_argument("--batch", type=int, default=128)
+    simulate.add_argument("--seq-len", type=int, default=512)
+    simulate.add_argument("--threads", type=int, default=None)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    compare = sub.add_parser("compare", help="compare vs a baseline")
+    compare.add_argument("--hardware", default="BestPerf")
+    compare.add_argument("--baseline", default="all",
+                         choices=["a100", "tpuv2", "tpuv3", "all"])
+    compare.add_argument("--batch", type=int, default=128)
+    compare.add_argument("--seq-len", type=int, default=512)
+    compare.set_defaults(handler=cmd_compare)
+
+    experiments = sub.add_parser("experiments",
+                                 help="regenerate paper artifacts")
+    experiments.add_argument("only", nargs="*",
+                             help='experiment ids, e.g. "Figure 18"')
+    experiments.set_defaults(handler=cmd_experiments)
+
+    dse = sub.add_parser("dse", help="design-space exploration")
+    dse.add_argument("--batch", type=int, default=32)
+    dse.add_argument("--seq-len", type=int, default=512)
+    dse.add_argument("--limit", type=int, default=None)
+    dse.set_defaults(handler=cmd_dse)
+
+    binding = sub.add_parser("binding",
+                             help="Section 2.2 binding-affinity study")
+    binding.add_argument("--seed", type=int, default=2022)
+    binding.set_defaults(handler=cmd_binding)
+
+    embed = sub.add_parser("embed", help="embed protein sequences")
+    embed.add_argument("sequences", nargs="+")
+    embed.add_argument("--functional", action="store_true",
+                       help="run through the simulated bf16/LUT datapath")
+    embed.set_defaults(handler=cmd_embed)
+
+    zoo = sub.add_parser("zoo", help="list registered model scales")
+    zoo.set_defaults(handler=cmd_zoo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

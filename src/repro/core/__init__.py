@@ -1,0 +1,33 @@
+"""Public API: the ProSE engine and its result types."""
+
+from ..arch.config import (
+    ArrayGroup,
+    HardwareConfig,
+    best_perf,
+    best_perf_plus,
+    homogeneous,
+    homogeneous_plus,
+    most_efficient,
+    most_efficient_plus,
+    table4_configs,
+)
+from .engine import ProSEEngine
+from .session import InferenceSession, SessionResult
+from .results import Comparison, InferenceReport
+
+__all__ = [
+    "ArrayGroup",
+    "Comparison",
+    "HardwareConfig",
+    "InferenceReport",
+    "InferenceSession",
+    "SessionResult",
+    "ProSEEngine",
+    "best_perf",
+    "best_perf_plus",
+    "homogeneous",
+    "homogeneous_plus",
+    "most_efficient",
+    "most_efficient_plus",
+    "table4_configs",
+]

@@ -1,0 +1,171 @@
+"""Dataflow mapping for encoder-decoder models on ProSE.
+
+The paper's conclusion extends ProSE to models with decoder layers.  Each
+decoder layer maps onto the same three dataflow patterns:
+
+* masked self-attention  → 3× Dataflow 1 (Q/K/V) + Dataflow 3 (with the
+  causal-mask addition in the SIMD chain) + 1× Dataflow 1 (output);
+* cross-attention        → the same, with K/V projections reading the
+  encoder output;
+* feed-forward           → Dataflow 2 + Dataflow 1, as in the encoder.
+
+Per decoder layer: 8× Dataflow 1, 1× Dataflow 2, 2× Dataflow 3, plus the
+host layer norms — constructed directly here (the encoder graph still
+comes from the trace-matching builder).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..model.config import BertConfig
+from ..trace.ops import Op, OpKind, bmm_op, elementwise_op, matmul_op
+from .builder import _split_softmax, build_graph_for
+from .graph import DataflowGraph, HostTask, Node
+from .patterns import Dataflow, DataflowKind
+
+
+def _projection(name: str, layer: int, rows: int, k: int, n: int,
+                shape: Tuple[int, ...], deps: Tuple[int, ...],
+                residual: bool = False) -> Dataflow:
+    ops: List[Op] = [
+        matmul_op(rows, k, n, name=name, layer=layer),
+        elementwise_op(OpKind.ADD, shape, name=f"{name}.bias", layer=layer,
+                       metadata={"vector_operand": 1.0}),
+    ]
+    if residual:
+        ops.append(elementwise_op(OpKind.ADD, shape,
+                                  name=f"{name}.residual", layer=layer))
+    return Dataflow(kind=DataflowKind.DATAFLOW_1, ops=tuple(ops),
+                    name=name, layer=layer, deps=deps)
+
+
+def _attention_df3(name: str, layer: int, batch_heads: int, q_len: int,
+                   kv_len: int, head_dim: int, deps: Tuple[int, ...],
+                   masked: bool) -> Dataflow:
+    scores = bmm_op(batch_heads, q_len, head_dim, kv_len,
+                    name=f"{name}.scores", layer=layer)
+    scale = elementwise_op(OpKind.DIV, (batch_heads, q_len, kv_len),
+                           name=f"{name}.scale", layer=layer,
+                           metadata={"divisor": float(head_dim) ** 0.5})
+    softmax = elementwise_op(OpKind.SOFTMAX, (batch_heads, q_len, kv_len),
+                             name=f"{name}.softmax", layer=layer)
+    exp, host_sum, host_div = _split_softmax(softmax)
+    context = bmm_op(batch_heads, q_len, kv_len, head_dim,
+                     name=f"{name}.context", layer=layer)
+    ops: Tuple[Op, ...] = (scores, scale)
+    if masked:
+        ops += (elementwise_op(OpKind.ADD, (batch_heads, q_len, kv_len),
+                               name=f"{name}.causal_mask", layer=layer),)
+    ops += (exp, context)
+    return Dataflow(kind=DataflowKind.DATAFLOW_3, ops=ops,
+                    host_ops=(host_sum, host_div), name=name, layer=layer,
+                    deps=deps)
+
+
+def build_seq2seq_graph(config: BertConfig, batch: int, src_len: int,
+                        tgt_len: int,
+                        decoder_layers: int = None) -> DataflowGraph:
+    """Dataflow DAG for one encoder-decoder inference (teacher-forced).
+
+    Args:
+        config: shared encoder/decoder hyperparameters.
+        batch: sequences per inference.
+        src_len: encoder input length.
+        tgt_len: decoder input length.
+        decoder_layers: decoder depth (defaults to ``config.num_layers``).
+    """
+    if decoder_layers is None:
+        decoder_layers = config.num_layers
+    if min(batch, src_len, tgt_len, decoder_layers) <= 0:
+        raise ValueError("batch, lengths, and depth must be positive")
+
+    encoder = build_graph_for(config, batch=batch, seq_len=src_len)
+    nodes: List[Node] = list(encoder.nodes)
+    encoder_final = len(nodes) - 1     # the last encoder layer norm
+
+    def add(node: Node) -> int:
+        nodes.append(node)
+        return len(nodes) - 1
+
+    h, heads, hd = config.hidden_size, config.num_heads, config.head_dim
+    inter = config.intermediate_size
+    rows = batch * tgt_len
+    hidden_shape = (batch, tgt_len, h)
+
+    previous = add(HostTask(
+        ops=(elementwise_op(OpKind.EMBEDDING, hidden_shape,
+                            name="decoder.embeddings.token"),
+             elementwise_op(OpKind.EMBEDDING, hidden_shape,
+                            name="decoder.embeddings.position"),
+             elementwise_op(OpKind.ADD, hidden_shape,
+                            name="decoder.embeddings.add"),
+             elementwise_op(OpKind.LAYERNORM, hidden_shape,
+                            name="decoder.embeddings.layernorm")),
+        name="decoder.embeddings", layer=-1, deps=(encoder_final,)))
+
+    for layer in range(decoder_layers):
+        prefix = f"decoder.layer.{layer}"
+
+        # Masked self-attention: Q/K/V from the running decoder state.
+        qkv = tuple(add(_projection(
+            f"{prefix}.self.{proj}", layer, rows, h, h, hidden_shape,
+            deps=(previous,))) for proj in ("query", "key", "value"))
+        self_df3 = add(_attention_df3(
+            f"{prefix}.self", layer, batch * heads, tgt_len, tgt_len, hd,
+            deps=qkv, masked=True))
+        self_out = add(_projection(
+            f"{prefix}.self.output", layer, rows, h, h, hidden_shape,
+            deps=(self_df3,), residual=True))
+        norm1 = add(HostTask(
+            ops=(elementwise_op(OpKind.LAYERNORM, hidden_shape,
+                                name=f"{prefix}.self.layernorm",
+                                layer=layer),),
+            name=f"{prefix}.self.layernorm", layer=layer,
+            deps=(self_out,)))
+
+        # Cross-attention: Q from the decoder; K/V from the encoder.
+        q = add(_projection(f"{prefix}.cross.query", layer, rows, h, h,
+                            hidden_shape, deps=(norm1,)))
+        kv_rows = batch * src_len
+        kv_shape = (batch, src_len, h)
+        k = add(_projection(f"{prefix}.cross.key", layer, kv_rows, h, h,
+                            kv_shape, deps=(encoder_final,)))
+        v = add(_projection(f"{prefix}.cross.value", layer, kv_rows, h, h,
+                            kv_shape, deps=(encoder_final,)))
+        cross_df3 = add(_attention_df3(
+            f"{prefix}.cross", layer, batch * heads, tgt_len, src_len, hd,
+            deps=(q, k, v), masked=False))
+        cross_out = add(_projection(
+            f"{prefix}.cross.output", layer, rows, h, h, hidden_shape,
+            deps=(cross_df3,), residual=True))
+        norm2 = add(HostTask(
+            ops=(elementwise_op(OpKind.LAYERNORM, hidden_shape,
+                                name=f"{prefix}.cross.layernorm",
+                                layer=layer),),
+            name=f"{prefix}.cross.layernorm", layer=layer,
+            deps=(cross_out,)))
+
+        # Feed-forward: Dataflow 2 then Dataflow 1, as in the encoder.
+        intermediate = add(Dataflow(
+            kind=DataflowKind.DATAFLOW_2,
+            ops=(matmul_op(rows, h, inter, name=f"{prefix}.intermediate",
+                           layer=layer),
+                 elementwise_op(OpKind.ADD, (batch, tgt_len, inter),
+                                name=f"{prefix}.intermediate.bias",
+                                layer=layer,
+                                metadata={"vector_operand": 1.0}),
+                 elementwise_op(OpKind.GELU, (batch, tgt_len, inter),
+                                name=f"{prefix}.gelu", layer=layer)),
+            name=f"{prefix}.intermediate", layer=layer, deps=(norm2,)))
+        ffn_out = add(_projection(
+            f"{prefix}.output", layer, rows, inter, h, hidden_shape,
+            deps=(intermediate,), residual=True))
+        previous = add(HostTask(
+            ops=(elementwise_op(OpKind.LAYERNORM, hidden_shape,
+                                name=f"{prefix}.output.layernorm",
+                                layer=layer),),
+            name=f"{prefix}.output.layernorm", layer=layer,
+            deps=(ffn_out,)))
+
+    return DataflowGraph(nodes)

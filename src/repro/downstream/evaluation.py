@@ -1,0 +1,84 @@
+"""Evaluate the BERT-features → linear-model pipeline on downstream tasks.
+
+The paper's workflow (Figure 2b): one pre-trained Protein BERT feeds
+*arbitrary* downstream tasks through small task heads — "the modularity
+of BERT-style protein design software gives our workflow the ability to
+automatically improve ... as larger and more powerful Protein BERT-style
+models are developed."  This module runs that workflow across the task
+registry and reports per-task transfer quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..binding.features import FeatureExtractor
+from ..binding.metrics import pearson, spearman
+from ..binding.regression import PcaRidgeModel
+from ..model.bert import ProteinBert
+from ..model.config import BertConfig
+from ..model.weights import pretrained_like_weights
+from .tasks import TASK_REGISTRY, TaskDataset, make_task_dataset
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Transfer quality of the pipeline on one downstream task."""
+
+    task: str
+    rank_correlation: float
+    pearson_correlation: float
+    num_train: int
+    num_test: int
+
+
+def default_task_extractor(seed: int = 11) -> ProteinBert:
+    """A compact descriptor-structured extractor shared by all tasks."""
+    config = BertConfig(hidden_size=192, num_layers=3, num_heads=6,
+                        intermediate_size=384, max_position=512)
+    return ProteinBert(config,
+                       weights=pretrained_like_weights(config, seed=seed))
+
+
+def evaluate_task(dataset: TaskDataset,
+                  model: Optional[ProteinBert] = None,
+                  components: int = 4, alpha: float = 1.0) -> TaskResult:
+    """Fit the task head on the train split and score the test split."""
+    model = model or default_task_extractor()
+    extractor = FeatureExtractor(model)
+    train_features = extractor.extract(dataset.train_sequences)
+    test_features = extractor.extract(dataset.test_sequences)
+    head = PcaRidgeModel(components=components, alpha=alpha).fit(
+        train_features, dataset.train_labels)
+    predictions = head.predict(test_features)
+    return TaskResult(
+        task=dataset.name,
+        rank_correlation=spearman(predictions, dataset.test_labels),
+        pearson_correlation=pearson(predictions, dataset.test_labels),
+        num_train=len(dataset.train),
+        num_test=len(dataset.test))
+
+
+def evaluate_all_tasks(model: Optional[ProteinBert] = None,
+                       tasks: Optional[Sequence[str]] = None,
+                       seed: int = 11) -> Dict[str, TaskResult]:
+    """Run the workflow on every registered task with one shared model."""
+    model = model or default_task_extractor(seed=seed)
+    names = tasks if tasks is not None else sorted(TASK_REGISTRY)
+    results = {}
+    for name in names:
+        dataset = make_task_dataset(name, seed=seed)
+        results[name] = evaluate_task(dataset, model=model)
+    return results
+
+
+def format_results(results: Dict[str, TaskResult]) -> str:
+    lines = [f"{'task':>14s} {'rank rho':>9s} {'pearson':>9s} "
+             f"{'train/test':>11s}"]
+    for name in sorted(results):
+        result = results[name]
+        lines.append(f"{name:>14s} {result.rank_correlation:9.4f} "
+                     f"{result.pearson_correlation:9.4f} "
+                     f"{result.num_train:5d}/{result.num_test}")
+    return "\n".join(lines)

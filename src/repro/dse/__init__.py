@@ -1,0 +1,36 @@
+"""Design-space exploration (Table 3, Figures 16-17)."""
+
+from .explorer import DesignSpaceExplorer, DsePoint, DseResult
+from .pareto import argmin, pareto_front
+from .space import (
+    DEFAULT_PARTITIONS,
+    DEFAULT_PE_BUDGET,
+    GE_MAX_COUNTS,
+    GE_SIZES,
+    M_MAX_COUNT,
+    M_SIZE,
+    Mix,
+    enumerate_configs,
+    enumerate_mixes,
+    mix_to_config,
+    space_size,
+)
+
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "DEFAULT_PE_BUDGET",
+    "DesignSpaceExplorer",
+    "DsePoint",
+    "DseResult",
+    "GE_MAX_COUNTS",
+    "GE_SIZES",
+    "M_MAX_COUNT",
+    "M_SIZE",
+    "Mix",
+    "argmin",
+    "enumerate_configs",
+    "enumerate_mixes",
+    "mix_to_config",
+    "pareto_front",
+    "space_size",
+]

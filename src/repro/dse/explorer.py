@@ -1,0 +1,142 @@
+"""Design-space exploration driver (Section 4.2, Figures 16-17).
+
+Evaluates every configuration of the Table 3 space with the cycle-level
+orchestration simulator, attaches power/area from the physical model, and
+selects the paper's three design points: BestPerf (minimum runtime),
+MostPowerEfficient, and MostAreaEfficient (Pareto points maximizing
+perf/W and perf/mm²).  The paper found the latter two coincide and calls
+the combined point MostEfficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.config import HardwareConfig
+from ..arch.interconnect import LanePartition, LinkConfig
+from ..baselines.gpu import a100
+from ..model.config import BertConfig, protein_bert_base
+from ..physical.power import power_report
+from ..sched.host import HostModel
+from ..sched.orchestrator import Orchestrator
+from .pareto import argmin, pareto_front
+from .space import DEFAULT_PARTITIONS, DEFAULT_PE_BUDGET, enumerate_configs
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated configuration in the DSE scatter.
+
+    Attributes:
+        config: the hardware configuration.
+        runtime_seconds: simulated batch makespan.
+        normalized_runtime: runtime / the A100's runtime on the same
+            workload (the Figure 16 y-axis).
+        power_watts: accelerator power.
+        area_mm2: accelerator area.
+    """
+
+    config: HardwareConfig
+    runtime_seconds: float
+    normalized_runtime: float
+    power_watts: float
+    area_mm2: float
+
+    @property
+    def perf_per_watt(self) -> float:
+        return 1.0 / (self.normalized_runtime * self.power_watts)
+
+    @property
+    def perf_per_area(self) -> float:
+        return 1.0 / (self.normalized_runtime * self.area_mm2)
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of one full design-space sweep."""
+
+    points: Tuple[DsePoint, ...]
+    best_perf: DsePoint
+    most_power_efficient: DsePoint
+    most_area_efficient: DsePoint
+
+    @property
+    def most_efficient_coincides(self) -> bool:
+        """The paper's observation: both Pareto picks are the same config."""
+        return (self.most_power_efficient.config.name
+                == self.most_area_efficient.config.name)
+
+
+class DesignSpaceExplorer:
+    """Sweeps the Table 3 space at a given workload and PE budget.
+
+    Args:
+        model_config: Protein BERT configuration.
+        batch: inference batch per evaluation (the paper uses 128; smaller
+            values speed up sweeps without changing the ranking much).
+        seq_len: input length (the paper evaluates at 512).
+        host: host CPU model shared by all evaluations.
+    """
+
+    def __init__(self, model_config: Optional[BertConfig] = None,
+                 batch: int = 32, seq_len: int = 512,
+                 host: Optional[HostModel] = None) -> None:
+        self.model_config = model_config or protein_bert_base()
+        self.batch = batch
+        self.seq_len = seq_len
+        self.host = host or HostModel()
+        self._a100 = a100()
+
+    def evaluate(self, config: HardwareConfig,
+                 a100_runtime: Optional[float] = None) -> DsePoint:
+        """Simulate one configuration and attach physical characteristics."""
+        schedule = Orchestrator(config, host=self.host).run(
+            self.model_config, batch=self.batch, seq_len=self.seq_len)
+        if a100_runtime is None:
+            a100_runtime = self.a100_runtime()
+        report = power_report(config)
+        return DsePoint(config=config,
+                        runtime_seconds=schedule.makespan_seconds,
+                        normalized_runtime=schedule.makespan_seconds
+                        / a100_runtime,
+                        power_watts=report.accelerator_power_w,
+                        area_mm2=report.area_mm2)
+
+    def a100_runtime(self) -> float:
+        """The A100's batch latency on the same workload."""
+        return self.batch / self._a100.throughput(
+            self.model_config, batch=self.batch, seq_len=self.seq_len)
+
+    def sweep(self, pe_budget: int = DEFAULT_PE_BUDGET,
+              partitions: Sequence[LanePartition] = DEFAULT_PARTITIONS,
+              link: Optional[LinkConfig] = None,
+              limit: Optional[int] = None) -> DseResult:
+        """Evaluate the space and select the paper's design points.
+
+        Args:
+            pe_budget: total PE count every mix must hit exactly.
+            partitions: lane partitions swept per mix.
+            link: link operating point (default NVLink 2.0 @ 90%).
+            limit: evaluate only the first N configurations (fast tests).
+        """
+        reference = self.a100_runtime()
+        points: List[DsePoint] = []
+        for index, config in enumerate(
+                enumerate_configs(pe_budget, partitions, link)):
+            if limit is not None and index >= limit:
+                break
+            points.append(self.evaluate(config, a100_runtime=reference))
+        if not points:
+            raise ValueError("design space is empty")
+
+        best_perf = argmin(points, key=lambda p: p.normalized_runtime)
+        power_front = pareto_front(
+            points, lambda p: (p.normalized_runtime, p.power_watts))
+        area_front = pareto_front(
+            points, lambda p: (p.normalized_runtime, p.area_mm2))
+        most_power = argmin(power_front, key=lambda p: 1.0 / p.perf_per_watt)
+        most_area = argmin(area_front, key=lambda p: 1.0 / p.perf_per_area)
+        return DseResult(points=tuple(points), best_perf=best_perf,
+                         most_power_efficient=most_power,
+                         most_area_efficient=most_area)

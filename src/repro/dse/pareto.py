@@ -1,0 +1,37 @@
+"""Pareto-front extraction for the DSE scatter plots (Figure 16)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(points: Sequence[T],
+                 objectives: Callable[[T], Tuple[float, ...]]) -> List[T]:
+    """Minimizing Pareto front of ``points`` under ``objectives``.
+
+    A point is on the front when no other point is at least as good in
+    every objective and strictly better in one.
+    """
+    values = [objectives(p) for p in points]
+    front: List[T] = []
+    for i, point in enumerate(points):
+        dominated = False
+        for j, other in enumerate(values):
+            if j == i:
+                continue
+            if all(o <= v for o, v in zip(other, values[i])) and \
+                    any(o < v for o, v in zip(other, values[i])):
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def argmin(points: Sequence[T], key: Callable[[T], float]) -> T:
+    """The point minimizing ``key`` (ValueError on empty input)."""
+    if not points:
+        raise ValueError("argmin over empty sequence")
+    return min(points, key=key)

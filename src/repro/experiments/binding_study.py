@@ -1,0 +1,35 @@
+"""Section 2.2 — the software protein binding evaluation.
+
+Thin experiment wrapper around :func:`repro.binding.run_binding_study`.
+Claim to reproduce: a rank correlation "near or above 0.5" on the
+independent BH1 test set (the paper reports 0.5161).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..binding.experiment import (
+    PAPER_RANK_CORRELATION,
+    BindingStudyResult,
+    run_binding_study,
+)
+from ..model.bert import ProteinBert
+
+
+def run(model: Optional[ProteinBert] = None,
+        seed: int = 2022) -> BindingStudyResult:
+    return run_binding_study(model=model, seed=seed)
+
+
+def format_result(result: BindingStudyResult) -> str:
+    return "\n".join([
+        f"train variants: {result.num_train} (Herceptin-like)",
+        f"test variants:  {result.num_test} (BH1-like, independent)",
+        f"test rank correlation:  {result.rank_correlation:.4f} "
+        f"(paper: {PAPER_RANK_CORRELATION})",
+        f"test Pearson r:         {result.pearson_correlation:.4f}",
+        f"train rank correlation: {result.train_rank_correlation:.4f}",
+        f"experimentally valid (ρ near/above 0.5): "
+        f"{result.experimentally_valid}",
+    ])

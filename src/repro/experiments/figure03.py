@@ -1,0 +1,34 @@
+"""Figure 3 — runtime breakdown of Protein BERT by operation class.
+
+Thin wrapper over :mod:`repro.profiling.breakdown`, kept as a separate
+experiment module so every paper artifact has exactly one entry point.
+The claims to reproduce: MatMul share decreases as length grows while
+element-wise and special-function shares increase, and matrix multiplies
+(batched + unbatched) stay within roughly 35-52% of total runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..model.config import BertConfig
+from ..profiling.breakdown import (
+    FIGURE3_LENGTHS,
+    BreakdownRow,
+    format_breakdown,
+    matmul_share_bounds,
+    profile_breakdown,
+)
+
+
+def run(config: Optional[BertConfig] = None,
+        lengths: Sequence[int] = FIGURE3_LENGTHS) -> List[BreakdownRow]:
+    """Regenerate the Figure 3 stacked shares."""
+    return profile_breakdown(config=config, lengths=lengths)
+
+
+def format_result(rows: Sequence[BreakdownRow]) -> str:
+    low, high = matmul_share_bounds(rows)
+    return (format_breakdown(rows)
+            + f"\nmatmul share range: {low * 100:.1f}%-{high * 100:.1f}%"
+            f" (paper: 35%-52%)")

@@ -1,0 +1,32 @@
+"""Figures 11 & 12 — MatMul and MulAdd on TPUv2 vs ProSE, step by step.
+
+Regenerates the operation sequences of the paper's microarchitectural
+comparison: the TPUv2's global dataflow through the Unified Buffer versus
+ProSE's local dataflow through the accumulators.  Claims to reproduce:
+the TPU needs eight operations for the MatMul step where ProSE needs
+four; the MulAdd costs the TPU two-three trips of its global dataflow
+versus ProSE's single chained trip; and ProSE makes zero Unified-Buffer
+round trips by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..arch.comparison import (
+    StepComparison,
+    compare_matmul,
+    compare_muladd,
+    format_comparison,
+)
+
+
+def run(m: int = 4, k: int = 4, n: int = 4
+        ) -> Tuple[StepComparison, StepComparison]:
+    """Build both comparisons at the paper's toy 4×4 shape."""
+    return compare_matmul(m, k, n), compare_muladd(m, n)
+
+
+def format_result(result: Tuple[StepComparison, StepComparison]) -> str:
+    matmul, muladd = result
+    return format_comparison(matmul) + "\n\n" + format_comparison(muladd)

@@ -1,0 +1,87 @@
+"""Figures 13 & 14 — GELU and Exp lookup-table truncation windows.
+
+Validates the two-level-indexed LUT design: GELU is only tabulated for
+bfloat16 exponents in [-4, 3] and Exp in [-6, 5]; outside the windows the
+cheap approximations (zero / identity / saturation) apply.  Claims to
+reproduce: the tables are exactly 4 KB and 6 KB, and the truncation
+policies introduce only small errors over the activation ranges the model
+actually produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..arch.lut import (
+    EXP_EXPONENT_WINDOW,
+    GELU_EXPONENT_WINDOW,
+    SpecialFunctionLut,
+    make_exp_lut,
+    make_gelu_lut,
+)
+from ..model.activations import exp as exp_reference
+from ..model.activations import gelu as gelu_reference
+
+
+@dataclass(frozen=True)
+class LutReport:
+    """Accuracy/size report for one special-function LUT."""
+
+    name: str
+    table_bytes: int
+    exponent_window: Tuple[int, int]
+    in_window_max_error: float
+    below_window_max_error: float
+    above_window_max_error: float
+
+
+def _window_edges(window: Tuple[int, int]) -> Tuple[float, float]:
+    low, high = window
+    return 2.0 ** low, 2.0 ** (high + 1)
+
+
+def _report(name: str, lut: SpecialFunctionLut, reference,
+            domain: Tuple[float, float]) -> LutReport:
+    low_edge, high_edge = _window_edges(lut.spec.exponent_window)
+    xs = np.linspace(domain[0], domain[1], 20001).astype(np.float32)
+    magnitude = np.abs(xs)
+    in_window = (magnitude >= low_edge) & (magnitude < high_edge)
+    below = magnitude < low_edge
+    above = ~in_window & ~below
+    errors = np.abs(lut.lookup(xs) - reference(xs))
+
+    def max_over(mask: np.ndarray) -> float:
+        return float(errors[mask].max()) if mask.any() else 0.0
+
+    return LutReport(name=name, table_bytes=lut.table_bytes,
+                     exponent_window=lut.spec.exponent_window,
+                     in_window_max_error=max_over(in_window),
+                     below_window_max_error=max_over(below),
+                     above_window_max_error=max_over(above))
+
+
+def run() -> Tuple[LutReport, LutReport]:
+    """Build both LUTs and report their truncation-window accuracy."""
+    gelu_report = _report("GELU", make_gelu_lut(), gelu_reference,
+                          domain=(-20.0, 20.0))
+    # Softmax inputs are max-subtracted, so Exp sees (-inf, 0]; probe the
+    # range that matters plus a positive margin.
+    exp_report = _report("Exp", make_exp_lut(), exp_reference,
+                         domain=(-30.0, 2.0))
+    return gelu_report, exp_report
+
+
+def format_result(reports: Tuple[LutReport, LutReport]) -> str:
+    lines = [f"{'LUT':>5s} {'bytes':>6s} {'window':>10s} "
+             f"{'in-window err':>14s} {'below err':>10s} {'above err':>10s}"]
+    for report in reports:
+        window = f"[{report.exponent_window[0]},{report.exponent_window[1]}]"
+        lines.append(
+            f"{report.name:>5s} {report.table_bytes:6d} {window:>10s} "
+            f"{report.in_window_max_error:14.5f} "
+            f"{report.below_window_max_error:10.5f} "
+            f"{report.above_window_max_error:10.5f}")
+    return "\n".join(lines)

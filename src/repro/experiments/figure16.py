@@ -1,0 +1,46 @@
+"""Figure 16 — design-space exploration scatter and Pareto picks.
+
+Evaluates the full Table 3 space (232 configurations at the default two
+lane partitions; the paper explored 238) and plots normalized runtime vs
+power and vs area.  Claims to reproduce: a broad scatter with a clear
+Pareto front, a BestPerf point, and MostPowerEfficient/MostAreaEfficient
+Pareto picks that coincide ("MostEfficient").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dse.explorer import DesignSpaceExplorer, DseResult
+from ..model.config import BertConfig
+
+
+def run(config: Optional[BertConfig] = None, batch: int = 32,
+        seq_len: int = 512, limit: Optional[int] = None) -> DseResult:
+    """Run the Figure 16 sweep.
+
+    Args:
+        config: model configuration.
+        batch: evaluation batch (paper: 128; 32 preserves the ranking and
+            is ~4× faster).
+        seq_len: evaluation length (paper: 512).
+        limit: cap the number of configurations (fast smoke runs).
+    """
+    explorer = DesignSpaceExplorer(model_config=config, batch=batch,
+                                   seq_len=seq_len)
+    return explorer.sweep(limit=limit)
+
+
+def format_result(result: DseResult) -> str:
+    lines = [f"configurations evaluated: {len(result.points)}"]
+    for label, point in (("BestPerf", result.best_perf),
+                         ("MostPowerEfficient",
+                          result.most_power_efficient),
+                         ("MostAreaEfficient", result.most_area_efficient)):
+        lines.append(
+            f"{label:>20s}: {point.config.name:34s} "
+            f"runtime(norm)={point.normalized_runtime:.3f} "
+            f"power={point.power_watts:.2f}W area={point.area_mm2:.2f}mm2")
+    lines.append("MostPowerEfficient == MostAreaEfficient: "
+                 f"{result.most_efficient_coincides}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Figure 17 — PE-count resource sweep (8K-24K PEs).
+
+For each PE budget, a reduced DSE finds the BestPerf and MostEfficient
+configurations, and their performance and perf/Watt are normalized to one
+A100.  Claims to reproduce: performance grows with PEs; efficiency peaks
+around 16K (ProSE) and 20K (ProSE+) where the designs are "most balanced".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.gpu import A100_MEASURED_POWER_WATTS
+from ..dse.explorer import DesignSpaceExplorer
+from ..model.config import BertConfig
+from ..physical.power import system_power_watts
+
+DEFAULT_BUDGETS: Tuple[int, ...] = (8192, 12288, 16384, 20480, 24576)
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Best design points at one PE budget, normalized to the A100."""
+
+    pe_budget: int
+    best_perf_speedup: float
+    best_perf_efficiency_gain: float
+    most_efficient_speedup: float
+    most_efficient_efficiency_gain: float
+
+
+@dataclass(frozen=True)
+class Figure17Result:
+    points: Tuple[BudgetPoint, ...]
+
+    @property
+    def most_balanced_budget(self) -> int:
+        """Budget maximizing BestPerf perf × perf/W (the balance point)."""
+        return max(self.points,
+                   key=lambda p: (p.best_perf_speedup
+                                  * p.best_perf_efficiency_gain)).pe_budget
+
+
+def run(config: Optional[BertConfig] = None,
+        budgets: Sequence[int] = DEFAULT_BUDGETS, batch: int = 32,
+        seq_len: int = 512, limit: Optional[int] = None) -> Figure17Result:
+    """Run the resource sweep at a fixed NVLink 2.0 @ 90% link."""
+    explorer = DesignSpaceExplorer(model_config=config, batch=batch,
+                                   seq_len=seq_len)
+    a100_runtime = explorer.a100_runtime()
+    a100_efficiency = 1.0 / (a100_runtime * A100_MEASURED_POWER_WATTS)
+    points: List[BudgetPoint] = []
+    for budget in budgets:
+        result = explorer.sweep(pe_budget=budget, limit=limit)
+
+        def normalized(point) -> Tuple[float, float]:
+            speedup = a100_runtime / point.runtime_seconds
+            power = system_power_watts(point.config)
+            efficiency = 1.0 / (point.runtime_seconds * power)
+            return speedup, efficiency / a100_efficiency
+
+        bp_speedup, bp_gain = normalized(result.best_perf)
+        me_speedup, me_gain = normalized(result.most_power_efficient)
+        points.append(BudgetPoint(
+            pe_budget=budget,
+            best_perf_speedup=bp_speedup,
+            best_perf_efficiency_gain=bp_gain,
+            most_efficient_speedup=me_speedup,
+            most_efficient_efficiency_gain=me_gain))
+    return Figure17Result(points=tuple(points))
+
+
+def format_result(result: Figure17Result) -> str:
+    lines = [f"{'PEs':>7s} {'BestPerf x':>11s} {'BestPerf /W':>12s} "
+             f"{'MostEff x':>10s} {'MostEff /W':>11s}"]
+    for point in result.points:
+        lines.append(
+            f"{point.pe_budget:7d} {point.best_perf_speedup:11.2f} "
+            f"{point.best_perf_efficiency_gain:12.1f} "
+            f"{point.most_efficient_speedup:10.2f} "
+            f"{point.most_efficient_efficiency_gain:11.1f}")
+    lines.append(f"most balanced budget: {result.most_balanced_budget} PEs")
+    return "\n".join(lines)

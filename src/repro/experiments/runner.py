@@ -1,0 +1,103 @@
+"""Run every paper experiment and emit a consolidated text report.
+
+``python -m repro.experiments.runner`` regenerates all tables and figures
+at a laptop-friendly scale and prints each as a labelled text block — the
+source material for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from . import (
+    ablations,
+    binding_study,
+    extensions,
+    numerics,
+    sensitivity,
+    figure01,
+    figure03,
+    figure04,
+    figure08,
+    figure11_12,
+    figure13_14,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    table02,
+    table03,
+    table04,
+)
+
+#: (experiment id, title, run callable, format callable).
+EXPERIMENTS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
+    ("Figure 1", "Inference power efficiency vs sequence length",
+     figure01.run, figure01.format_result),
+    ("Figure 3", "Runtime breakdown by operation class",
+     figure03.run, figure03.format_result),
+    ("Figure 4", "Heterogeneous vs homogeneous runtime vs length",
+     figure04.run, figure04.format_result),
+    ("Figure 8", "Thread-count orchestration sweep",
+     figure08.run, figure08.format_result),
+    ("Figures 11/12", "TPUv2 vs ProSE step-by-step operation traces",
+     figure11_12.run, figure11_12.format_result),
+    ("Figures 13/14", "GELU/Exp LUT truncation windows",
+     figure13_14.run, figure13_14.format_result),
+    ("Figure 16", "Design-space exploration scatter",
+     figure16.run, figure16.format_result),
+    ("Figure 17", "PE-count resource sweep",
+     figure17.run, figure17.format_result),
+    ("Figure 18", "Speedup vs link bandwidth",
+     figure18.run, figure18.format_result),
+    ("Figure 19", "Power efficiency vs link bandwidth",
+     figure19.run, figure19.format_result),
+    ("Figure 20", "Empirical roofline",
+     figure20.run, figure20.format_result),
+    ("Table 2", "Systolic array physical characteristics",
+     table02.run, table02.format_result),
+    ("Table 3", "DSE configuration space",
+     table03.run, table03.format_result),
+    ("Table 4", "Select configurations with power/area",
+     table04.run, table04.format_result),
+    ("Section 2.2", "Protein binding-affinity study",
+     binding_study.run, binding_study.format_result),
+    ("Ablations", "Input buffer / chaining / LUT window ablations",
+     ablations.run, ablations.format_result),
+    ("Extensions", "Model zoo / encoder-decoder / downstream tasks",
+     extensions.run, extensions.format_result),
+    ("Numerics", "bf16 + LUT datapath end-to-end accuracy validation",
+     numerics.run, numerics.format_result),
+    ("Sensitivity", "Robustness of conclusions to modeling knobs",
+     sensitivity.run, sensitivity.format_result),
+)
+
+
+def run_all(only: Optional[List[str]] = None, verbose: bool = True) -> str:
+    """Execute every experiment (or the named subset) and return the report.
+
+    Args:
+        only: experiment ids to run (e.g. ``["Figure 18"]``); all if None.
+        verbose: print each block as it completes.
+    """
+    blocks: List[str] = []
+    for exp_id, title, run_fn, format_fn in EXPERIMENTS:
+        if only is not None and exp_id not in only:
+            continue
+        started = time.time()
+        result = run_fn()
+        elapsed = time.time() - started
+        block = (f"=== {exp_id}: {title} ({elapsed:.1f}s) ===\n"
+                 f"{format_fn(result)}\n")
+        blocks.append(block)
+        if verbose:
+            print(block)
+    return "\n".join(blocks)
+
+
+if __name__ == "__main__":
+    import sys
+
+    run_all(only=sys.argv[1:] or None)

@@ -1,0 +1,31 @@
+"""Table 2 — physical design characteristics of ProSE systolic arrays.
+
+Regenerates the synthesized frequency/power/area table (with and without
+input buffers) and the %-of-A100 columns, from the anchored parametric
+physical model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..physical.synthesis import ArrayCharacteristics, table2
+
+
+def run() -> Tuple[ArrayCharacteristics, ...]:
+    """All Table 2 rows."""
+    return table2()
+
+
+def format_result(rows: Tuple[ArrayCharacteristics, ...]) -> str:
+    lines = [f"{'size':>5s} {'GELU':>5s} {'Exp':>4s} {'MHz':>8s} "
+             f"{'mW':>8s} {'+InBuf mW':>10s} {'%A100 P':>8s} "
+             f"{'mm2':>7s} {'+InBuf mm2':>11s} {'%A100 A':>8s}"]
+    for row in rows:
+        lines.append(
+            f"{row.size:3d}x{row.size:<2d} {'yes' if row.gelu else 'no':>4s} "
+            f"{'yes' if row.exp else 'no':>4s} {row.frequency_mhz:8.1f} "
+            f"{row.power_mw:8.1f} {row.inbuf_power_mw:10.1f} "
+            f"{row.percent_a100_power:7.2f}% {row.area_mm2:7.3f} "
+            f"{row.inbuf_area_mm2:11.3f} {row.percent_a100_area:7.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Table 3 — the hardware configuration space of the DSE.
+
+Regenerates the space definition and its size: array types, sizes, count
+ranges, and the number of valid configurations at the 16K-PE budget (the
+paper evaluates 238; our enumeration with the default two lane partitions
+yields 232).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..dse.space import (
+    DEFAULT_PE_BUDGET,
+    GE_MAX_COUNTS,
+    GE_SIZES,
+    M_MAX_COUNT,
+    M_SIZE,
+    enumerate_mixes,
+    space_size,
+)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    m_size: int
+    m_max_count: int
+    ge_sizes: Tuple[int, ...]
+    ge_max_counts: Tuple[Tuple[int, int], ...]
+    pe_budget: int
+    num_mixes: int
+    num_configs: int
+
+
+def run(pe_budget: int = DEFAULT_PE_BUDGET) -> Table3Result:
+    return Table3Result(
+        m_size=M_SIZE,
+        m_max_count=M_MAX_COUNT,
+        ge_sizes=GE_SIZES,
+        ge_max_counts=tuple(sorted(GE_MAX_COUNTS.items())),
+        pe_budget=pe_budget,
+        num_mixes=len(enumerate_mixes(pe_budget)),
+        num_configs=space_size(pe_budget))
+
+
+def format_result(result: Table3Result) -> str:
+    counts = ", ".join(f"{size}x{size}: 1..{cap}"
+                       for size, cap in result.ge_max_counts)
+    return "\n".join([
+        f"M-Type: {result.m_size}x{result.m_size}, "
+        f"counts 1..{result.m_max_count}",
+        f"G/E-Type sizes and counts: {counts}",
+        f"PE budget: {result.pe_budget}",
+        f"valid hardware mixes: {result.num_mixes}",
+        f"configurations with lane sweeps: {result.num_configs} "
+        f"(paper: 238)",
+    ])

@@ -1,0 +1,61 @@
+"""Table 4 — the six select ProSE configurations with power and area.
+
+Regenerates the configuration rows (mixes, power, area) from the physical
+model, alongside the paper's published values for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..arch.config import table4_configs
+from ..physical.power import power_report
+
+#: The paper's published (power mW, area mm²) per configuration.
+PAPER_VALUES: Dict[str, Tuple[float, float]] = {
+    "BestPerf": (12994, 12.75),
+    "MostEfficient": (12306, 12.49),
+    "Homogeneous": (10652, 11.93),
+    "BestPerf+": (16918, 48.50),
+    "MostEfficient+": (16918, 48.50),
+    "Homogeneous+": (13315, 14.92),
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    name: str
+    arrays: str
+    total_pes: int
+    power_mw: float
+    area_mm2: float
+    paper_power_mw: float
+    paper_area_mm2: float
+
+
+def run() -> Tuple[Table4Row, ...]:
+    rows = []
+    for config in table4_configs():
+        report = power_report(config)
+        paper_power, paper_area = PAPER_VALUES[config.name]
+        rows.append(Table4Row(
+            name=config.name,
+            arrays=", ".join(g.label for g in config.groups),
+            total_pes=config.total_pes,
+            power_mw=report.accelerator_power_w * 1000.0,
+            area_mm2=report.area_mm2,
+            paper_power_mw=paper_power,
+            paper_area_mm2=paper_area))
+    return tuple(rows)
+
+
+def format_result(rows: Tuple[Table4Row, ...]) -> str:
+    lines = [f"{'config':>16s} {'PEs':>6s} {'power mW':>9s} "
+             f"{'paper mW':>9s} {'area mm2':>9s} {'paper mm2':>10s}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:>16s} {row.total_pes:6d} {row.power_mw:9.0f} "
+            f"{row.paper_power_mw:9.0f} {row.area_mm2:9.2f} "
+            f"{row.paper_area_mm2:10.2f}")
+    return "\n".join(lines)

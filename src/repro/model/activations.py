@@ -1,0 +1,69 @@
+"""Reference activation functions for the Protein BERT model.
+
+These are the float32 "golden" implementations.  The accelerator-side
+approximations (bfloat16 lookup tables with exponent-window truncation) live
+in :mod:`repro.arch.lut` and are validated against these references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Constant sqrt(2/pi) used by the tanh-based GELU approximation the paper
+#: quotes: GELU(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+GELU_TANH_COEFF = float(np.sqrt(2.0 / np.pi))
+
+#: Cubic coefficient from the same formulation.
+GELU_CUBIC_COEFF = 0.044715
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation, as in the paper)."""
+    x = np.asarray(x, dtype=np.float64)
+    inner = GELU_TANH_COEFF * (x + GELU_CUBIC_COEFF * np.power(x, 3))
+    return (0.5 * x * (1.0 + np.tanh(inner))).astype(np.float32)
+
+
+def gelu_exact(x: np.ndarray) -> np.ndarray:
+    """Exact GELU via the Gauss error function (scipy-free implementation)."""
+    x = np.asarray(x, dtype=np.float64)
+    # erf(x) computed from the complementary relationship with the normal CDF.
+    from math import sqrt
+
+    from numpy import vectorize
+
+    try:
+        from scipy.special import erf  # type: ignore
+        values = 0.5 * x * (1.0 + erf(x / sqrt(2.0)))
+    except ImportError:  # pragma: no cover - scipy is an install requirement
+        import math
+        values = 0.5 * x * (1.0 + vectorize(math.erf)(x / sqrt(2.0)))
+    return values.astype(np.float32)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+               eps: float = 1e-12) -> np.ndarray:
+    """Layer normalization over the last axis with affine parameters."""
+    x = np.asarray(x, dtype=np.float32)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mean) / np.sqrt(var + eps)
+    return normalized * gamma + beta
+
+
+def exp(x: np.ndarray) -> np.ndarray:
+    """Elementwise exponential (reference for the accelerator Exp LUT)."""
+    return np.exp(np.asarray(x, dtype=np.float32)).astype(np.float32)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise tanh."""
+    return np.tanh(np.asarray(x, dtype=np.float32)).astype(np.float32)

@@ -1,0 +1,77 @@
+"""Protein BERT model configuration.
+
+The paper's Protein BERT "is identical in structure to human language BERT
+models" (Section 2.1): a BERT-base encoder (12 layers, hidden 768, 12 heads,
+intermediate 3072) over the amino-acid vocabulary, with input lengths from
+~300 to 2000+ tokens.  The matrix sizes the paper quotes (m = 65536,
+k = 768/3072, n = 768 for Dataflow 1; m = 1024, k = 64, n = 512 for the
+attention dot products) all derive from this configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proteins.alphabet import DEFAULT_VOCABULARY
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Hyperparameters of a BERT-style encoder.
+
+    Attributes:
+        vocab_size: token vocabulary size (30 for the TAPE protein alphabet).
+        hidden_size: model width (768 for BERT-base).
+        num_layers: number of encoder layers (12).
+        num_heads: attention heads per layer (12).
+        intermediate_size: feed-forward inner width (3072).
+        max_position: longest supported input length.
+        layer_norm_eps: epsilon for layer normalization.
+    """
+
+    vocab_size: int = DEFAULT_VOCABULARY.size
+    hidden_size: int = 768
+    num_layers: int = 12
+    num_heads: int = 12
+    intermediate_size: int = 3072
+    max_position: int = 2048
+    layer_norm_eps: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must divide evenly across heads")
+        for name in ("vocab_size", "hidden_size", "num_layers", "num_heads",
+                     "intermediate_size", "max_position"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension (64 for BERT-base)."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def parameter_count(self) -> int:
+        """Total learned parameters in the encoder stack plus embeddings."""
+        embed = (self.vocab_size + self.max_position) * self.hidden_size
+        embed_norm = 2 * self.hidden_size
+        per_layer = (
+            4 * (self.hidden_size * self.hidden_size + self.hidden_size)
+            + 2 * (self.hidden_size * self.intermediate_size)
+            + self.intermediate_size + self.hidden_size
+            + 2 * (2 * self.hidden_size))
+        return embed + embed_norm + self.num_layers * per_layer
+
+
+def protein_bert_base() -> BertConfig:
+    """The Protein BERT configuration used throughout the paper."""
+    return BertConfig()
+
+
+def protein_bert_tiny(num_layers: int = 2, hidden_size: int = 64,
+                      num_heads: int = 4, intermediate_size: int = 128,
+                      max_position: int = 256) -> BertConfig:
+    """A scaled-down configuration for fast functional tests."""
+    return BertConfig(hidden_size=hidden_size, num_layers=num_layers,
+                      num_heads=num_heads, intermediate_size=intermediate_size,
+                      max_position=max_position)

@@ -1,0 +1,59 @@
+"""Protein language model zoo.
+
+The paper's workflow "automatically improve[s] (without manual
+engineering) as larger and more powerful Protein BERT-style models are
+developed [8, 35, 45]" and its streaming design "prevents unscalable
+memory usage on large models".  This registry captures the public model
+scales those citations refer to — TAPE's ProteinBERT, the ESM family, and
+the standard BERT sizes — so scalability experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .config import BertConfig
+
+#: Named configurations (protein vocabulary throughout).
+MODEL_ZOO: Dict[str, BertConfig] = {
+    # TAPE's transformer: BERT-base sized — the paper's Protein BERT.
+    "tape-bert": BertConfig(hidden_size=768, num_layers=12, num_heads=12,
+                            intermediate_size=3072, max_position=2048),
+    # BERT-large sized protein model.
+    "protein-bert-large": BertConfig(hidden_size=1024, num_layers=24,
+                                     num_heads=16, intermediate_size=4096,
+                                     max_position=2048),
+    # ESM-1b (Rives et al. 2021): 33 layers, width 1280.
+    "esm-1b": BertConfig(hidden_size=1280, num_layers=33, num_heads=20,
+                         intermediate_size=5120, max_position=2048),
+    # ESM-small (esm-1v-ish 6-layer distillation scale).
+    "esm-small": BertConfig(hidden_size=768, num_layers=6, num_heads=12,
+                            intermediate_size=3072, max_position=2048),
+    # MobileBERT-ish compact protein model for edge scenarios.
+    "protein-bert-compact": BertConfig(hidden_size=512, num_layers=12,
+                                       num_heads=8, intermediate_size=1024,
+                                       max_position=2048),
+}
+
+
+def get_model_config(name: str) -> BertConfig:
+    """Look up a zoo configuration by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown model '{name}'; known: {sorted(MODEL_ZOO)}"
+        ) from error
+
+
+def zoo_names() -> List[str]:
+    """Registered model names, smallest parameter count first."""
+    return sorted(MODEL_ZOO, key=lambda name: MODEL_ZOO[name].parameter_count)
+
+
+def describe(name: str) -> str:
+    """One-line summary of a zoo model."""
+    config = get_model_config(name)
+    return (f"{name}: {config.num_layers}L x {config.hidden_size}h "
+            f"({config.num_heads} heads, FFN {config.intermediate_size}) "
+            f"- {config.parameter_count / 1e6:.0f}M params")

@@ -1,0 +1,77 @@
+"""Technology-node scaling (Stillmaker & Baas style, paper Section 4.1).
+
+The paper synthesizes systolic arrays in FreePDK 15 nm and SRAMs in a 45 nm
+PDK, then scales both to 7 nm using "the sub-10 nm technology scaling
+methodology" of Stillmaker & Baas.  This module provides the per-node
+scaling factors that methodology tabulates, so every physical number in the
+repository carries explicit provenance from a synthesis node to 7 nm.
+
+Factors are normalized to 45 nm = 1.0.  They follow the published shape of
+the Stillmaker-Baas curves: delay and energy improve steeply down to 14 nm
+and then flatten in the sub-10 nm regime, while area keeps shrinking
+roughly with feature-size squared (tempered by fin quantization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Relative gate delay vs 45 nm (smaller is faster).
+DELAY_FACTORS: Dict[int, float] = {
+    180: 4.10, 130: 2.62, 90: 1.79, 65: 1.33, 45: 1.00,
+    32: 0.77, 20: 0.57, 15: 0.45, 14: 0.43, 10: 0.36, 7: 0.30,
+}
+
+#: Relative switching power at constant frequency vs 45 nm.
+POWER_FACTORS: Dict[int, float] = {
+    180: 9.20, 130: 4.71, 90: 2.60, 65: 1.62, 45: 1.00,
+    32: 0.71, 20: 0.42, 15: 0.31, 14: 0.29, 10: 0.21, 7: 0.16,
+}
+
+#: Relative area vs 45 nm.
+AREA_FACTORS: Dict[int, float] = {
+    180: 16.0, 130: 8.34, 90: 4.00, 65: 2.09, 45: 1.00,
+    32: 0.51, 20: 0.20, 15: 0.12, 14: 0.11, 10: 0.062, 7: 0.036,
+}
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """A value scaled between technology nodes, with the factors used."""
+
+    value: float
+    from_nm: int
+    to_nm: int
+    factor: float
+
+
+def _factor(table: Dict[int, float], from_nm: int, to_nm: int) -> float:
+    if from_nm not in table or to_nm not in table:
+        known = sorted(table)
+        raise ValueError(f"unknown node; known nodes: {known}")
+    return table[to_nm] / table[from_nm]
+
+
+def scale_delay(value: float, from_nm: int, to_nm: int) -> ScalingResult:
+    """Scale a delay (or inverse frequency) between nodes."""
+    factor = _factor(DELAY_FACTORS, from_nm, to_nm)
+    return ScalingResult(value * factor, from_nm, to_nm, factor)
+
+
+def scale_frequency(value: float, from_nm: int, to_nm: int) -> ScalingResult:
+    """Scale a clock frequency between nodes (inverse of delay)."""
+    factor = 1.0 / _factor(DELAY_FACTORS, from_nm, to_nm)
+    return ScalingResult(value * factor, from_nm, to_nm, factor)
+
+
+def scale_power(value: float, from_nm: int, to_nm: int) -> ScalingResult:
+    """Scale switching power at constant frequency between nodes."""
+    factor = _factor(POWER_FACTORS, from_nm, to_nm)
+    return ScalingResult(value * factor, from_nm, to_nm, factor)
+
+
+def scale_area(value: float, from_nm: int, to_nm: int) -> ScalingResult:
+    """Scale silicon area between nodes."""
+    factor = _factor(AREA_FACTORS, from_nm, to_nm)
+    return ScalingResult(value * factor, from_nm, to_nm, factor)

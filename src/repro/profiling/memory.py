@@ -1,0 +1,121 @@
+"""Memory-footprint model for Protein BERT inference.
+
+Section 2.1: "both compute time and memory footprint increase
+quadratically as a function of input sequence length for some
+operations".  This module computes the activation/weight footprints
+analytically from the traced op stream, quantifying (a) the quadratic
+attention-score blow-up that limits batch size on a 40 GiB A100 (the
+Section 2.3 batch table) and (b) why ProSE's streaming design needs no
+device-resident footprint at all beyond its accumulators and buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.config import HardwareConfig, best_perf
+from ..model.config import BertConfig, protein_bert_base
+from ..physical.sram import input_buffer_bits
+
+#: Bytes per activation element on the GPU (fp16 activations).
+GPU_ACTIVATION_BYTES = 2
+
+#: Bytes per weight element (fp16).
+WEIGHT_BYTES = 2
+
+#: A100 device memory (Table 1: 40 GiB HBM2).
+A100_MEMORY_BYTES = 40 * 2 ** 30
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Peak per-inference memory decomposition on a commodity device.
+
+    Attributes:
+        seq_len: tokens per sequence.
+        weight_bytes: model parameters (batch-independent).
+        linear_activation_bytes: per-sequence activations that scale
+            linearly with length (hidden states, FFN intermediates).
+        quadratic_activation_bytes: per-sequence attention scores/probs
+            that scale quadratically with length.
+    """
+
+    seq_len: int
+    weight_bytes: int
+    linear_activation_bytes: int
+    quadratic_activation_bytes: int
+
+    @property
+    def per_sequence_bytes(self) -> int:
+        return (self.linear_activation_bytes
+                + self.quadratic_activation_bytes)
+
+    def max_batch(self, device_bytes: int = A100_MEMORY_BYTES,
+                  workspace_fraction: float = 0.8) -> int:
+        """Largest batch fitting in ``device_bytes`` of device memory."""
+        available = device_bytes * workspace_fraction - self.weight_bytes
+        if available <= 0:
+            return 0
+        return max(int(available // self.per_sequence_bytes), 0)
+
+
+def model_footprint(config: BertConfig, seq_len: int) -> MemoryFootprint:
+    """Analytic footprint of one layer-pipelined inference.
+
+    Activations are counted for the live set of one encoder layer (the
+    framework frees or reuses buffers layer to layer): hidden states in/
+    out, Q/K/V, the FFN intermediate, and the per-head score matrices.
+    """
+    if seq_len <= 0 or seq_len > config.max_position:
+        raise ValueError("seq_len out of range for the model")
+    h, inter, heads = (config.hidden_size, config.intermediate_size,
+                       config.num_heads)
+    weight_bytes = config.parameter_count * WEIGHT_BYTES
+    # Live linear activations: hidden in/out + Q,K,V + context + FFN
+    # intermediate (the dominant term).
+    linear = seq_len * (6 * h + inter) * GPU_ACTIVATION_BYTES
+    # Scores + probabilities per head, double-buffered across the softmax.
+    quadratic = 2 * heads * seq_len * seq_len * GPU_ACTIVATION_BYTES
+    return MemoryFootprint(seq_len=seq_len, weight_bytes=weight_bytes,
+                           linear_activation_bytes=linear,
+                           quadratic_activation_bytes=quadratic)
+
+
+def footprint_sweep(config: Optional[BertConfig] = None,
+                    lengths: Sequence[int] = (32, 64, 128, 256, 512,
+                                              1024, 2048)
+                    ) -> List[MemoryFootprint]:
+    """Footprints across the Figure 3 length sweep."""
+    config = config or protein_bert_base()
+    return [model_footprint(config, seq_len) for seq_len in lengths]
+
+
+def prose_device_bytes(hardware: Optional[HardwareConfig] = None) -> int:
+    """Total on-accelerator storage of a ProSE instance.
+
+    Accumulators (32 bits per PE) plus the streaming/partial input
+    buffers — the paper's whole point: no scratchpad, no device DRAM.
+    """
+    hardware = hardware or best_perf()
+    accumulator_bits = 32 * hardware.total_pes
+    buffer_bits = sum(group.count * input_buffer_bits(group.size)
+                      for group in hardware.groups)
+    return (accumulator_bits + buffer_bits) // 8
+
+
+def format_sweep(footprints: Sequence[MemoryFootprint],
+                 hardware: Optional[HardwareConfig] = None) -> str:
+    """Render the sweep with the paper-style maximum A100 batch column."""
+    lines = [f"{'seq':>6s} {'quad MB/seq':>12s} {'linear MB/seq':>14s} "
+             f"{'max A100 batch':>15s}"]
+    for footprint in footprints:
+        lines.append(
+            f"{footprint.seq_len:6d} "
+            f"{footprint.quadratic_activation_bytes / 2 ** 20:12.2f} "
+            f"{footprint.linear_activation_bytes / 2 ** 20:14.2f} "
+            f"{footprint.max_batch():15d}")
+    device = prose_device_bytes(hardware)
+    lines.append(f"ProSE on-accelerator storage, total: "
+                 f"{device / 2 ** 20:.2f} MiB (length-independent)")
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Synthetic antibody-variant datasets for the binding-affinity study.
+
+Paper Section 2.2 trains a downstream regression on 39 Herceptin Fab
+variants and tests on 35 BH1 Fab variants, both binding the HER2 protein
+(AB-Bind database [46]).  The database itself is not redistributable, so we
+build the closest synthetic equivalent: two variant libraries derived from a
+shared Fab-like scaffold (~450 residues, matching the paper's Fab length),
+with a biophysically motivated ground-truth binding energy.
+
+The ground truth scores each variant by the hydropathy / charge / volume of
+the residues at a set of "paratope" positions (the antibody positions that
+contact the antigen), plus epistatic pairwise terms and measurement noise.
+This preserves the property the paper's experiment demonstrates: sequence-
+level features extracted by a Protein BERT encoder carry enough signal for a
+regularized linear model to rank variants by affinity with rank correlation
+around 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .alphabet import CHARGE, HYDROPATHY, VOLUME
+from .sequences import SequenceGenerator
+
+#: Length of the Fab subsequence, "∼450 amino acids" per the paper.
+FAB_LENGTH = 450
+
+#: Number of paratope (antigen-contacting) positions in the synthetic model.
+NUM_PARATOPE_POSITIONS = 24
+
+
+@dataclass(frozen=True)
+class FabVariant:
+    """One antibody Fab variant with its ground-truth binding affinity.
+
+    Attributes:
+        name: identifier such as ``"herceptin_v07"``.
+        sequence: amino-acid string of the Fab subsequence.
+        affinity: synthetic binding affinity (higher binds more strongly).
+    """
+
+    name: str
+    sequence: str
+    affinity: float
+
+
+@dataclass(frozen=True)
+class BindingDataset:
+    """Train/test split for the binding-affinity experiment.
+
+    Attributes:
+        train: Herceptin-like variants (paper: 39 sequences).
+        test: BH1-like variants used as the independent test set (paper: 35).
+        paratope: positions the ground-truth energy reads.
+    """
+
+    train: Tuple[FabVariant, ...]
+    test: Tuple[FabVariant, ...]
+    paratope: Tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def train_sequences(self) -> List[str]:
+        return [v.sequence for v in self.train]
+
+    @property
+    def test_sequences(self) -> List[str]:
+        return [v.sequence for v in self.test]
+
+    @property
+    def train_affinities(self) -> np.ndarray:
+        return np.array([v.affinity for v in self.train])
+
+    @property
+    def test_affinities(self) -> np.ndarray:
+        return np.array([v.affinity for v in self.test])
+
+
+class BindingEnergyModel:
+    """Synthetic ground-truth binding energy over paratope residues.
+
+    The energy is a weighted sum of per-position biophysical descriptors
+    (hydropathy, charge, side-chain volume) at the paratope positions, plus
+    pairwise epistasis between adjacent paratope positions.  Weights are
+    drawn once from the seed so the model is deterministic.
+
+    The hydropathy weights carry a positive mean: burying hydrophobic
+    surface at a protein-protein interface is the dominant favorable term
+    in real binding free energies, and this composition-level signal is
+    what sequence-only language-model features can credibly transfer.
+    """
+
+    def __init__(self, paratope: Sequence[int], seed: int = 7) -> None:
+        if not paratope:
+            raise ValueError("paratope must contain at least one position")
+        self.paratope = tuple(paratope)
+        rng = np.random.default_rng(seed)
+        count = len(self.paratope)
+        self._hydropathy_weights = rng.normal(1.0, 0.4, size=count)
+        self._charge_weights = rng.normal(0.5, 0.8, size=count)
+        self._volume_weights = rng.normal(0.0, 0.004, size=count)
+        self._pair_weights = rng.normal(0.0, 0.3, size=max(count - 1, 1))
+
+    def energy(self, sequence: str) -> float:
+        """Return the ground-truth binding energy of ``sequence``."""
+        residues = [sequence[p] for p in self.paratope]
+        hydro = np.array([HYDROPATHY.get(r, 0.0) for r in residues])
+        charge = np.array([CHARGE.get(r, 0.0) for r in residues])
+        volume = np.array([VOLUME.get(r, 140.0) for r in residues])
+        linear = (self._hydropathy_weights @ hydro
+                  + self._charge_weights @ charge
+                  + self._volume_weights @ volume)
+        pairwise = float(
+            self._pair_weights[:len(residues) - 1]
+            @ (hydro[:-1] * hydro[1:])) if len(residues) > 1 else 0.0
+        return float(linear + 0.1 * pairwise)
+
+
+def make_binding_dataset(num_train: int = 39, num_test: int = 35,
+                         seed: int = 2022, noise_scale: float = 0.3,
+                         mutations_per_variant: int = 6) -> BindingDataset:
+    """Build the synthetic Herceptin/BH1 binding dataset.
+
+    Variant libraries substitute positions in the CDR-like region around
+    the paratope — as real antibody affinity-maturation libraries do — so
+    every variant perturbs the binding interface.
+
+    Args:
+        num_train: number of Herceptin-like training variants (paper: 39).
+        num_test: number of BH1-like test variants (paper: 35).
+        seed: master RNG seed.
+        noise_scale: standard deviation of measurement noise added to the
+            ground-truth energy, relative to the energy's own spread.
+        mutations_per_variant: point substitutions applied per variant.
+
+    Returns:
+        A :class:`BindingDataset` with deterministic contents.
+    """
+    generator = SequenceGenerator(seed=seed)
+    scaffold = generator.sequence(FAB_LENGTH)
+
+    rng = np.random.default_rng(seed + 1)
+    paratope = tuple(sorted(rng.choice(
+        FAB_LENGTH, size=NUM_PARATOPE_POSITIONS, replace=False).tolist()))
+    energy_model = BindingEnergyModel(paratope, seed=seed + 2)
+    # The CDR-like mutable region: the paratope plus flanking residues.
+    cdr_region = sorted({p + offset for p in paratope
+                         for offset in (-1, 0, 1)
+                         if 0 <= p + offset < FAB_LENGTH})
+
+    # BH1 is a distinct antibody binding the same HER2 epitope; derive it
+    # from the shared scaffold with a larger framework edit distance.
+    framework = [p for p in range(FAB_LENGTH) if p not in set(cdr_region)]
+    bh1_scaffold = generator.mutate(scaffold, num_mutations=40,
+                                    positions=framework)
+
+    def build(prefix: str, base: str, count: int) -> List[FabVariant]:
+        variants = []
+        for index in range(count):
+            sequence = generator.mutate(base, mutations_per_variant,
+                                        positions=cdr_region)
+            energy = energy_model.energy(sequence)
+            variants.append((f"{prefix}_v{index:02d}", sequence, energy))
+        energies = np.array([v[2] for v in variants])
+        spread = float(energies.std()) or 1.0
+        noise = rng.normal(0.0, noise_scale * spread, size=count)
+        return [FabVariant(name, seq, float(e + n))
+                for (name, seq, e), n in zip(variants, noise)]
+
+    train = build("herceptin", scaffold, num_train)
+    test = build("bh1", bh1_scaffold, num_test)
+    return BindingDataset(train=tuple(train), test=tuple(test),
+                          paratope=paratope)

@@ -1,0 +1,122 @@
+"""Resource primitives for the discrete-event schedule simulator.
+
+The orchestrator needs two resource shapes: single-server timelines (one
+systolic array, one link channel) and multi-server pools (host CPU slots).
+Timelines are *gap-aware*: reservations made out of time order backfill
+into idle gaps, so a thread that becomes ready early is not blocked behind
+a reservation another thread placed further in the future.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Timeline:
+    """A single-server resource holding sorted, disjoint busy intervals."""
+
+    name: str
+    _starts: List[float] = field(default_factory=list, repr=False)
+    _ends: List[float] = field(default_factory=list, repr=False)
+    busy_seconds: float = 0.0
+    reservations: int = 0
+
+    @property
+    def free_at(self) -> float:
+        """Time after the last reservation (no gaps considered)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def next_fit(self, earliest: float, duration: float) -> float:
+        """Earliest start ≥ ``earliest`` with an idle gap of ``duration``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if not self._starts:
+            return earliest
+        # Candidate gaps begin at `earliest` and after each busy interval.
+        index = bisect.bisect_right(self._ends, earliest)
+        candidate = earliest
+        while index < len(self._starts):
+            if self._starts[index] - candidate >= duration:
+                return candidate
+            candidate = max(candidate, self._ends[index])
+            index += 1
+        return candidate
+
+    def reserve(self, earliest: float, duration: float) -> Tuple[float, float]:
+        """Reserve the earliest feasible interval at or after ``earliest``."""
+        start = self.next_fit(earliest, duration)
+        end = start + duration
+        self.reservations += 1
+        if end <= start:
+            # Zero-width reservations (including durations that underflow
+            # against the start time) occupy nothing and would break the
+            # sortedness of the interval lists on ties.
+            return start, end
+        index = bisect.bisect_left(self._starts, start)
+        self._starts.insert(index, start)
+        self._ends.insert(index, end)
+        self.busy_seconds += duration
+        return start, end
+
+    def reserve_at(self, start: float, duration: float) -> Tuple[float, float]:
+        """Reserve exactly at ``start``; caller must have used next_fit."""
+        if self.next_fit(start, duration) != start:
+            raise ValueError(f"{self.name}: interval at {start} not free")
+        return self.reserve(start, duration)
+
+    def utilization(self, makespan: float) -> float:
+        """Busy fraction of the timeline over ``makespan``."""
+        return self.busy_seconds / makespan if makespan > 0 else 0.0
+
+
+def common_start(earliest: float, requests: List[Tuple["Timeline", float]]
+                 ) -> float:
+    """Earliest time at which every (timeline, duration) request fits.
+
+    Used when a dataflow must hold its link channel and its systolic array
+    from the same instant.
+    """
+    candidate = earliest
+    for _ in range(10000):
+        moved = False
+        for timeline, duration in requests:
+            fit = timeline.next_fit(candidate, duration)
+            if fit > candidate:
+                candidate = fit
+                moved = True
+        if not moved:
+            return candidate
+    raise RuntimeError("common_start failed to converge")
+
+
+@dataclass
+class Pool:
+    """A multi-server resource (e.g. host CPU slots)."""
+
+    name: str
+    servers: List[Timeline] = field(default_factory=list)
+
+    @classmethod
+    def with_servers(cls, name: str, count: int) -> "Pool":
+        if count <= 0:
+            raise ValueError("pool needs at least one server")
+        return cls(name=name, servers=[
+            Timeline(name=f"{name}[{i}]") for i in range(count)])
+
+    def reserve(self, earliest: float, duration: float) -> Tuple[float, float]:
+        """Reserve on the server that can start the earliest."""
+        best = min(self.servers,
+                   key=lambda server: server.next_fit(earliest, duration))
+        return best.reserve(earliest, duration)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(server.busy_seconds for server in self.servers)
+
+    def utilization(self, makespan: float) -> float:
+        if makespan <= 0:
+            return 0.0
+        return self.busy_seconds / (makespan * len(self.servers))

@@ -1,0 +1,364 @@
+"""Multithreaded orchestration and scheduling of dataflows onto ProSE.
+
+Implements the paper's Figure 8 execution model: the inference batch is
+split across software threads; each thread walks its own copy of the
+per-inference dataflow DAG *serially* (a thread dispatches one dataflow at
+a time), and parallelism comes from many threads running on the collection
+of heterogeneous systolic arrays concurrently.
+
+Every dataflow dispatch performs a host-accelerator transfer through one of
+three per-type I/O buffers guarded by mutex locks; transfers therefore
+serialize per array type, and the per-dispatch lock overhead grows with the
+thread count — the contention/bubble trade-off that makes 32 threads the
+sweet spot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import HardwareConfig
+from ..arch.interconnect import DISPATCH_OVERHEAD_SECONDS
+from ..arch.timing import DataflowTiming, time_dataflow
+from ..dataflow.builder import build_graph_for
+from ..dataflow.graph import DataflowGraph, HostTask
+from ..dataflow.patterns import ArrayType, Dataflow
+from ..model.config import BertConfig
+from .events import Pool, Timeline, common_start
+from .host import HostModel
+
+#: Default growth of per-dispatch mutex overhead per extra thread.
+CONTENTION_COEFFICIENT = 0.06
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One scheduled task, for timeline inspection (Figure 8 rendering)."""
+
+    thread: int
+    name: str
+    kind: str
+    ready: float
+    start: float
+    end: float
+    resource: str
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of simulating one batched inference on ProSE.
+
+    Attributes:
+        makespan_seconds: time from first dispatch to last completion.
+        batch: inferences completed.
+        seq_len: tokens per inference.
+        threads: software threads used.
+        array_utilization: busy fraction per array type over the makespan.
+        channel_utilization: link-channel busy fraction per array type.
+        host_utilization: host pool busy fraction.
+        total_stream_bytes: host-link traffic for the whole batch.
+        total_dispatches: host-accelerator transfers performed.
+        contention_seconds: total mutex/dispatch overhead incurred.
+        kind_compute_seconds: accelerator compute demand per dataflow
+            kind (where ProSE itself spends array time).
+        task_log: per-task schedule records when requested.
+    """
+
+    makespan_seconds: float
+    batch: int
+    seq_len: int
+    threads: int
+    array_utilization: Dict[ArrayType, float]
+    channel_utilization: Dict[ArrayType, float]
+    host_utilization: float
+    total_stream_bytes: int
+    total_dispatches: int
+    contention_seconds: float
+    kind_compute_seconds: Dict[str, float] = field(default_factory=dict)
+    task_log: Optional[Tuple[TaskRecord, ...]] = None
+
+    @property
+    def throughput(self) -> float:
+        """Inferences per second."""
+        return self.batch / self.makespan_seconds
+
+    @property
+    def latency_seconds(self) -> float:
+        """Batch latency (the makespan)."""
+        return self.makespan_seconds
+
+    @property
+    def bottleneck(self) -> str:
+        """Which resource class limits this schedule."""
+        candidates = {"host": self.host_utilization}
+        for array_type, value in self.array_utilization.items():
+            candidates[f"array:{array_type.value}"] = value
+        for array_type, value in self.channel_utilization.items():
+            candidates[f"link:{array_type.value}"] = value
+        return max(candidates, key=candidates.get)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when an array group, not a link channel, is the bottleneck."""
+        return self.bottleneck.startswith("array")
+
+
+class Orchestrator:
+    """Cycle-level schedule simulator for a ProSE instance.
+
+    Args:
+        hardware: the accelerator configuration to simulate.
+        host: host CPU model.
+        contention_coefficient: per-extra-thread growth of dispatch cost.
+        dispatch_overhead: base per-transfer software overhead in seconds.
+    """
+
+    #: Array-selection policies.  "earliest_finish" (default) projects
+    #: each candidate array's completion time; "round_robin" rotates
+    #: through the group; "first_free" takes the array that frees first
+    #: regardless of size.
+    POLICIES = ("earliest_finish", "round_robin", "first_free")
+
+    def __init__(self, hardware: HardwareConfig,
+                 host: Optional[HostModel] = None,
+                 contention_coefficient: float = CONTENTION_COEFFICIENT,
+                 dispatch_overhead: float = DISPATCH_OVERHEAD_SECONDS,
+                 policy: str = "earliest_finish") -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy '{policy}'; choose from {self.POLICIES}")
+        self.hardware = hardware
+        self.host = host or HostModel()
+        self.contention_coefficient = contention_coefficient
+        self.dispatch_overhead = dispatch_overhead
+        self.policy = policy
+        self._round_robin_state: Dict[ArrayType, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, config: BertConfig, batch: int, seq_len: int,
+            threads: Optional[int] = None,
+            record_tasks: bool = False,
+            graph_builder=None) -> ScheduleResult:
+        """Simulate one batched inference.
+
+        Args:
+            config: the Protein BERT model.
+            batch: inference batch size (split across threads).
+            seq_len: input sequence length in tokens.
+            threads: override the hardware's thread count (Figure 8 sweep).
+            record_tasks: keep a per-task log (Gantt rendering).
+            graph_builder: callable ``sub_batch -> DataflowGraph``
+                overriding the default encoder graph — e.g. the
+                encoder-decoder graph of
+                :func:`repro.dataflow.seq2seq.build_seq2seq_graph`.
+
+        Returns:
+            A :class:`ScheduleResult` with makespan and utilizations.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        thread_count = threads if threads is not None else self.hardware.threads
+        thread_count = max(1, min(thread_count, batch))
+
+        # Split the batch across threads as evenly as possible.
+        base, extra = divmod(batch, thread_count)
+        sub_batches = [base + (1 if t < extra else 0)
+                       for t in range(thread_count)]
+        if graph_builder is None:
+            def graph_builder(sub: int) -> DataflowGraph:
+                return build_graph_for(config, batch=sub, seq_len=seq_len)
+        graphs: Dict[int, DataflowGraph] = {}
+        for sub in set(sub_batches):
+            graphs[sub] = graph_builder(sub)
+
+        arrays: Dict[ArrayType, List[Tuple[Timeline, int]]] = {
+            t: [] for t in ArrayType}
+        for group in self.hardware.groups:
+            for index in range(group.count):
+                arrays[group.array_type].append(
+                    (Timeline(name=f"{group.label}[{index}]"), group.size))
+        channels: Dict[ArrayType, Timeline] = {
+            t: Timeline(name=f"channel:{t.value}") for t in ArrayType}
+        host_pool = Pool.with_servers("host", self.host.slots)
+
+        per_dispatch = self.dispatch_overhead * (
+            1.0 + self.contention_coefficient * (thread_count - 1))
+        timing_cache: Dict[Tuple[int, int, int], DataflowTiming] = {}
+        total_bytes = 0
+        total_dispatches = 0
+        contention_seconds = 0.0
+        kind_compute: Dict[str, float] = {}
+        makespan = 0.0
+
+        # Earliest-ready-first list scheduling across threads.  Each thread
+        # walks its own graph serially (Figure 8); at every step the thread
+        # whose next dataflow becomes ready soonest dispatches next, which
+        # is how the mutex-guarded I/O buffers hand out work in practice.
+        import heapq
+
+        finishes: List[List[float]] = [[0.0] * len(graphs[sub])
+                                       for sub in sub_batches]
+        pointers = [0] * thread_count
+        clocks = [0.0] * thread_count
+        task_log: List[TaskRecord] = []
+        heap = [(0.0, t) for t in range(thread_count)]
+        heapq.heapify(heap)
+        while heap:
+            ready, thread_index = heapq.heappop(heap)
+            sub = sub_batches[thread_index]
+            graph = graphs[sub]
+            node_index = pointers[thread_index]
+            node = graph[node_index]
+            finish = finishes[thread_index]
+            actual_ready = max(
+                max((finish[d] for d in node.deps), default=0.0),
+                clocks[thread_index])
+            if isinstance(node, HostTask):
+                duration = self.host.task_seconds(node.ops)
+                start, end = host_pool.reserve(actual_ready, duration)
+                resource_label = "host"
+                kind_label = "host"
+            else:
+                start, end, resource_label = self._schedule_dataflow(
+                    node, actual_ready, sub, node_index, arrays, channels,
+                    host_pool, timing_cache, per_dispatch)
+                kind_label = node.kind.value
+                timing = timing_cache[(sub, node_index, self._last_size)]
+                total_bytes += timing.total_stream_bytes
+                accel_segments = sum(
+                    1 for s in timing.segments if s.resource == "accel")
+                total_dispatches += accel_segments
+                contention_seconds += per_dispatch * accel_segments
+                kind_compute[kind_label] = (
+                    kind_compute.get(kind_label, 0.0)
+                    + timing.accel_compute_seconds)
+            if record_tasks:
+                task_log.append(TaskRecord(
+                    thread=thread_index, name=node.name, kind=kind_label,
+                    ready=actual_ready, start=start, end=end,
+                    resource=resource_label))
+            finish[node_index] = end
+            clocks[thread_index] = end
+            makespan = max(makespan, end)
+            pointers[thread_index] += 1
+            if pointers[thread_index] < len(graph):
+                next_node = graph[pointers[thread_index]]
+                next_ready = max(
+                    max((finish[d] for d in next_node.deps), default=0.0),
+                    clocks[thread_index])
+                heapq.heappush(heap, (next_ready, thread_index))
+
+        array_util = {}
+        for array_type, members in arrays.items():
+            busy = sum(timeline.busy_seconds for timeline, _ in members)
+            array_util[array_type] = (busy / (makespan * len(members))
+                                      if members and makespan > 0 else 0.0)
+        channel_util = {t: channels[t].utilization(makespan)
+                        for t in ArrayType}
+        return ScheduleResult(
+            makespan_seconds=makespan,
+            batch=batch,
+            seq_len=seq_len,
+            threads=thread_count,
+            array_utilization=array_util,
+            channel_utilization=channel_util,
+            host_utilization=host_pool.utilization(makespan),
+            total_stream_bytes=total_bytes,
+            total_dispatches=total_dispatches,
+            contention_seconds=contention_seconds,
+            kind_compute_seconds=kind_compute,
+            task_log=tuple(task_log) if record_tasks else None)
+
+    # ------------------------------------------------------------------
+
+    def _schedule_dataflow(self, dataflow: Dataflow, ready: float, sub: int,
+                           node_index: int,
+                           arrays: Dict[ArrayType, List[Tuple[Timeline, int]]],
+                           channels: Dict[ArrayType, Timeline],
+                           host_pool: Pool,
+                           cache: Dict[Tuple[int, int, int], DataflowTiming],
+                           per_dispatch: float) -> Tuple[float, float, str]:
+        """Place one dataflow's segments.
+
+        Returns:
+            (start, end, resource label) of the placed dataflow.
+        """
+        if self.hardware.pooled:
+            # Homogeneous baseline: every array carries both LUT kinds and
+            # can execute any dataflow (Table 2's 64×64 GELU+Exp row).
+            members = [m for group in arrays.values() for m in group]
+        else:
+            members = arrays[dataflow.array_type]
+        if not members:
+            raise ValueError(
+                f"no {dataflow.array_type.value}-Type arrays provisioned")
+        channel = channels[dataflow.array_type]
+        bandwidth = self.hardware.type_bandwidth(dataflow.array_type)
+
+        timeline, size = self._select_array(dataflow, ready, sub,
+                                            node_index, members, cache)
+        timing = self._timing(dataflow, size, sub, node_index, cache)
+        self._last_size = size
+
+        clock = ready
+        first_start: Optional[float] = None
+        for segment in timing.segments:
+            if segment.resource == "host":
+                _, clock = host_pool.reserve(clock, segment.compute_seconds)
+                continue
+            stream_seconds = (segment.stream_bytes / bandwidth
+                              if bandwidth > 0 else 0.0)
+            # The mutex-guarded per-type I/O buffer serializes each
+            # dispatch on the channel: lock acquisition + transfer setup
+            # (per_dispatch, growing with thread contention) then the
+            # stream itself.  The array is held from the same instant —
+            # the stream feeds it directly (no local scratchpad).
+            channel_hold = per_dispatch + stream_seconds
+            duration = (max(segment.compute_seconds, stream_seconds)
+                        + per_dispatch)
+            start = common_start(clock, [(channel, channel_hold),
+                                         (timeline, duration)])
+            channel.reserve_at(start, channel_hold)
+            _, clock = timeline.reserve_at(start, duration)
+            if first_start is None:
+                first_start = start
+        return (first_start if first_start is not None else ready, clock,
+                timeline.name)
+
+    def _select_array(self, dataflow: Dataflow, ready: float, sub: int,
+                      node_index: int,
+                      members: List[Tuple[Timeline, int]],
+                      cache: Dict[Tuple[int, int, int], DataflowTiming]
+                      ) -> Tuple[Timeline, int]:
+        """Pick an array for ``dataflow`` according to the policy."""
+        if self.policy == "round_robin":
+            index = self._round_robin_state.get(dataflow.array_type, 0)
+            self._round_robin_state[dataflow.array_type] = \
+                (index + 1) % len(members)
+            return members[index % len(members)]
+        if self.policy == "first_free":
+            return min(members,
+                       key=lambda member: member[0].next_fit(ready, 0.0))
+
+        # earliest_finish: project each candidate's completion time.
+        def projected(member: Tuple[Timeline, int]) -> float:
+            timeline, size = member
+            timing = self._timing(dataflow, size, sub, node_index, cache)
+            start = timeline.next_fit(ready, timing.accel_compute_seconds)
+            return start + timing.accel_compute_seconds
+
+        return min(members, key=projected)
+
+    def _timing(self, dataflow: Dataflow, size: int, sub: int,
+                node_index: int,
+                cache: Dict[Tuple[int, int, int], DataflowTiming]
+                ) -> DataflowTiming:
+        key = (sub, node_index, size)
+        if key not in cache:
+            cache[key] = time_dataflow(
+                dataflow, size, self.hardware,
+                host_elementwise_throughput=self.host.elementwise_throughput)
+        return cache[key]

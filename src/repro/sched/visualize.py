@@ -1,0 +1,87 @@
+"""ASCII rendering of orchestration schedules (Figure 8 style).
+
+Turns a :class:`~repro.sched.orchestrator.TaskRecord` log into a per-
+resource Gantt chart, so the thread-interleaving behaviour the paper
+illustrates in Figure 8 can be inspected directly from a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .orchestrator import ScheduleResult, TaskRecord
+
+#: Glyph per task kind in the Gantt rows.
+KIND_GLYPHS: Dict[str, str] = {
+    "dataflow1": "1",
+    "dataflow2": "2",
+    "dataflow3": "3",
+    "host": "h",
+}
+
+
+def _bucket(records: Iterable[TaskRecord]) -> Dict[str, List[TaskRecord]]:
+    rows: Dict[str, List[TaskRecord]] = {}
+    for record in records:
+        rows.setdefault(record.resource, []).append(record)
+    return rows
+
+
+def render_gantt(result: ScheduleResult, width: int = 100,
+                 max_rows: Optional[int] = 20) -> str:
+    """Render the schedule as one text row per resource.
+
+    Args:
+        result: a schedule produced with ``record_tasks=True``.
+        width: characters across the full makespan.
+        max_rows: cap on rendered resource rows (None for all).
+
+    Returns:
+        The Gantt chart; busy spans show the task-kind glyph, idle time
+        shows '.', and a legend follows.
+    """
+    if result.task_log is None:
+        raise ValueError("schedule was run without record_tasks=True")
+    makespan = result.makespan_seconds
+    rows = _bucket(result.task_log)
+    names = sorted(rows)
+    if max_rows is not None:
+        names = names[:max_rows]
+
+    lines: List[str] = []
+    label_width = max((len(name) for name in names), default=8)
+    for name in names:
+        cells = ["."] * width
+        for record in rows[name]:
+            start = int(record.start / makespan * (width - 1))
+            end = max(start, int(record.end / makespan * (width - 1)))
+            glyph = KIND_GLYPHS.get(record.kind, "?")
+            for position in range(start, end + 1):
+                cells[position] = glyph
+        lines.append(f"{name:>{label_width}s} |{''.join(cells)}|")
+    lines.append(f"{'':>{label_width}s}  0{'':{width - 10}s}"
+                 f"{makespan * 1e3:8.2f}ms")
+    lines.append("legend: 1/2/3 = Dataflow 1/2/3, h = host task, . = idle")
+    return "\n".join(lines)
+
+
+def thread_timeline(result: ScheduleResult, thread: int
+                    ) -> List[Tuple[str, float, float]]:
+    """(name, start ms, end ms) rows for one thread's serial task chain."""
+    if result.task_log is None:
+        raise ValueError("schedule was run without record_tasks=True")
+    return [(record.name, record.start * 1e3, record.end * 1e3)
+            for record in result.task_log if record.thread == thread]
+
+
+def utilization_summary(result: ScheduleResult) -> str:
+    """One-line-per-resource-class utilization table."""
+    lines = [f"{'resource':>12s} {'utilization':>12s}"]
+    for array_type, value in sorted(result.array_utilization.items(),
+                                    key=lambda item: item[0].value):
+        lines.append(f"{'array:' + array_type.value:>12s} {value:11.1%}")
+    for array_type, value in sorted(result.channel_utilization.items(),
+                                    key=lambda item: item[0].value):
+        lines.append(f"{'link:' + array_type.value:>12s} {value:11.1%}")
+    lines.append(f"{'host':>12s} {result.host_utilization:11.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Campaign/serving simulator: mixed-length workloads on ProSE vs GPU.
+
+Drives a :class:`~repro.proteins.workloads.Workload` through bucketed
+padded batches on both a simulated ProSE instance and a commodity
+baseline, producing end-to-end campaign time, energy, and the padding
+waste of the chosen batching policy — the deployment-level view of the
+paper's drug-discovery motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.config import HardwareConfig, best_perf
+from ..baselines.gpu import a100
+from ..baselines.roofline import RooflineDevice
+from ..model.config import BertConfig, protein_bert_base
+from ..physical.power import power_report
+from ..proteins.workloads import Workload, bucket_batches
+from ..sched.orchestrator import Orchestrator
+
+#: Default padding buckets (token lengths after the 2 special tokens).
+DEFAULT_BUCKETS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """End-to-end cost of one workload campaign on one platform.
+
+    Attributes:
+        platform: "ProSE <config>" or the baseline name.
+        total_seconds: campaign wall-clock (batches run back-to-back).
+        total_energy_joules: time × platform power.
+        sequences: inferences completed.
+        padded_tokens: tokens processed including padding.
+        useful_tokens: tokens the workload actually contains.
+    """
+
+    platform: str
+    total_seconds: float
+    total_energy_joules: float
+    sequences: int
+    padded_tokens: int
+    useful_tokens: int
+
+    @property
+    def throughput(self) -> float:
+        return self.sequences / self.total_seconds
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of processed tokens that were padding."""
+        return 1.0 - self.useful_tokens / self.padded_tokens
+
+
+class CampaignSimulator:
+    """Runs bucketed workloads through ProSE and baseline models.
+
+    Args:
+        model_config: the encoder the campaign scores sequences with.
+        hardware: ProSE instance configuration.
+        buckets: padded-length buckets for batching.
+        max_batch: sequences per padded batch.
+    """
+
+    def __init__(self, model_config: Optional[BertConfig] = None,
+                 hardware: Optional[HardwareConfig] = None,
+                 buckets: Sequence[int] = DEFAULT_BUCKETS,
+                 max_batch: int = 64) -> None:
+        self.model_config = model_config or protein_bert_base()
+        self.hardware = hardware or best_perf()
+        self.buckets = tuple(buckets)
+        self.max_batch = max_batch
+        self._orchestrator = Orchestrator(self.hardware)
+        self._prose_power = power_report(self.hardware).system_power_w
+
+    def _batches(self, workload: Workload) -> List[Tuple[int, int]]:
+        return bucket_batches(workload, self.buckets,
+                              max_batch=self.max_batch)
+
+    def run_on_prose(self, workload: Workload) -> CampaignReport:
+        """Simulate the campaign on the configured ProSE instance."""
+        total_seconds = 0.0
+        padded_tokens = 0
+        for length, batch in self._batches(workload):
+            schedule = self._orchestrator.run(self.model_config,
+                                              batch=batch,
+                                              seq_len=length)
+            total_seconds += schedule.makespan_seconds
+            padded_tokens += length * batch
+        return CampaignReport(
+            platform=f"ProSE {self.hardware.name}",
+            total_seconds=total_seconds,
+            total_energy_joules=total_seconds * self._prose_power,
+            sequences=len(workload),
+            padded_tokens=padded_tokens,
+            useful_tokens=int(workload.lengths.sum()))
+
+    def run_on_baseline(self, workload: Workload,
+                        device: Optional[RooflineDevice] = None
+                        ) -> CampaignReport:
+        """Simulate the campaign on a commodity baseline (default A100)."""
+        device = device or a100()
+        total_seconds = 0.0
+        padded_tokens = 0
+        for length, batch in self._batches(workload):
+            throughput = device.throughput(self.model_config, batch=batch,
+                                           seq_len=length,
+                                           accelerated_only=True)
+            total_seconds += batch / throughput
+            padded_tokens += length * batch
+        return CampaignReport(
+            platform=device.spec.name,
+            total_seconds=total_seconds,
+            total_energy_joules=total_seconds * device.spec.tdp_watts,
+            sequences=len(workload),
+            padded_tokens=padded_tokens,
+            useful_tokens=int(workload.lengths.sum()))
+
+
+def format_campaign(reports: Sequence[CampaignReport]) -> str:
+    lines = [f"{'platform':>18s} {'seconds':>9s} {'inf/s':>8s} "
+             f"{'energy J':>9s} {'padding':>8s}"]
+    for report in reports:
+        lines.append(f"{report.platform:>18s} {report.total_seconds:9.2f} "
+                     f"{report.throughput:8.1f} "
+                     f"{report.total_energy_joules:9.1f} "
+                     f"{report.padding_waste:7.1%}")
+    return "\n".join(lines)

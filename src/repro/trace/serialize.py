@@ -1,0 +1,120 @@
+"""JSON serialization for traces and dataflow graphs.
+
+Real accelerator toolchains persist their intermediate representations so
+compilation and simulation can run as separate pipeline stages (the
+paper's Figure 15 pipes ATen calls between tools).  This module gives the
+op stream and the dataflow graph a stable JSON round-trip format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..dataflow.graph import DataflowGraph, HostTask
+from ..dataflow.patterns import Dataflow, DataflowKind
+from .ops import Op, OpKind
+
+#: Format tag written into every serialized artifact.
+FORMAT_VERSION = 1
+
+
+def op_to_dict(op: Op) -> Dict[str, Any]:
+    """One op as plain JSON-compatible data."""
+    return {
+        "kind": op.kind.value,
+        "shape": list(op.shape),
+        "name": op.name,
+        "layer": op.layer,
+        "batch": op.batch,
+        "metadata": [[key, value] for key, value in op.metadata],
+    }
+
+
+def op_from_dict(data: Dict[str, Any]) -> Op:
+    """Inverse of :func:`op_to_dict`."""
+    return Op(kind=OpKind(data["kind"]),
+              shape=tuple(data["shape"]),
+              name=data.get("name", ""),
+              layer=data.get("layer", -1),
+              batch=data.get("batch", 1),
+              metadata=tuple((key, value)
+                             for key, value in data.get("metadata", [])))
+
+
+def trace_to_json(ops: Sequence[Op]) -> str:
+    """Serialize an op stream."""
+    return json.dumps({"version": FORMAT_VERSION,
+                       "ops": [op_to_dict(op) for op in ops]})
+
+
+def trace_from_json(text: str) -> List[Op]:
+    """Deserialize an op stream."""
+    data = json.loads(text)
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')}")
+    return [op_from_dict(entry) for entry in data["ops"]]
+
+
+def _node_to_dict(node) -> Dict[str, Any]:
+    if isinstance(node, Dataflow):
+        return {
+            "type": "dataflow",
+            "kind": node.kind.value,
+            "ops": [op_to_dict(op) for op in node.ops],
+            "host_ops": [op_to_dict(op) for op in node.host_ops],
+            "name": node.name,
+            "layer": node.layer,
+            "deps": list(node.deps),
+        }
+    return {
+        "type": "host",
+        "ops": [op_to_dict(op) for op in node.ops],
+        "name": node.name,
+        "layer": node.layer,
+        "deps": list(node.deps),
+    }
+
+
+def _node_from_dict(data: Dict[str, Any]):
+    deps = tuple(data.get("deps", []))
+    ops = tuple(op_from_dict(entry) for entry in data["ops"])
+    if data["type"] == "dataflow":
+        return Dataflow(kind=DataflowKind(data["kind"]), ops=ops,
+                        host_ops=tuple(op_from_dict(entry)
+                                       for entry in data.get("host_ops",
+                                                             [])),
+                        name=data.get("name", ""),
+                        layer=data.get("layer", -1), deps=deps)
+    if data["type"] == "host":
+        return HostTask(ops=ops, name=data.get("name", ""),
+                        layer=data.get("layer", -1), deps=deps)
+    raise ValueError(f"unknown node type {data['type']!r}")
+
+
+def graph_to_json(graph: DataflowGraph) -> str:
+    """Serialize a dataflow graph."""
+    return json.dumps({
+        "version": FORMAT_VERSION,
+        "nodes": [_node_to_dict(node) for node in graph.nodes],
+    })
+
+
+def graph_from_json(text: str) -> DataflowGraph:
+    """Deserialize a dataflow graph (dependencies are re-validated)."""
+    data = json.loads(text)
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph version {data.get('version')}")
+    return DataflowGraph([_node_from_dict(entry)
+                          for entry in data["nodes"]])
+
+
+def save_graph(graph: DataflowGraph, path: Union[str, Path]) -> None:
+    """Write a graph to disk."""
+    Path(path).write_text(graph_to_json(graph))
+
+
+def load_graph(path: Union[str, Path]) -> DataflowGraph:
+    """Read a graph from disk."""
+    return graph_from_json(Path(path).read_text())

@@ -1,0 +1,15 @@
+"""Differential verification harness (randomized testbench analogue)."""
+
+from .differential import (
+    RELATIVE_TOLERANCE,
+    CaseResult,
+    DifferentialHarness,
+    campaign_report,
+)
+
+__all__ = [
+    "CaseResult",
+    "DifferentialHarness",
+    "RELATIVE_TOLERANCE",
+    "campaign_report",
+]

@@ -1,0 +1,131 @@
+"""Tests for the A100 / TPUv2 / TPUv3 baseline device models."""
+
+import pytest
+
+from repro.baselines import (
+    A100_MEASURED_POWER_WATTS,
+    A100_PLATFORM,
+    MXU_SIZE,
+    TPUV2_POWER_WATTS,
+    TPUV3_POWER_WATTS,
+    a100,
+    best_batch_for_length,
+    saturating,
+    tpu_v2,
+    tpu_v3,
+)
+from repro.baselines.tpu import _mxu_utilization
+from repro.model import protein_bert_base
+from repro.trace import OpKind, TraceSpec, bmm_op, elementwise_op, matmul_op, trace_model
+
+CONFIG = protein_bert_base()
+
+
+class TestDeviceSpecs:
+    def test_published_power_figures(self):
+        # Paper Section 4.1: A100 measured 395 W, TPUv2 280 W x 4 chips.
+        assert A100_MEASURED_POWER_WATTS == 395.0
+        assert TPUV2_POWER_WATTS == 1120.0
+        assert TPUV3_POWER_WATTS > TPUV2_POWER_WATTS
+
+    def test_table1_platform_recorded(self):
+        assert "A100-SXM4" in A100_PLATFORM["GPU"]
+        assert A100_PLATFORM["GPU Memory"] == "40GiB HBM2"
+
+    def test_mxu_is_128(self):
+        assert MXU_SIZE == 128
+
+    def test_saturating_curve(self):
+        assert saturating(128, 128.0) == pytest.approx(0.5)
+        assert saturating(10 ** 9, 128.0) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestOpCosts:
+    def test_matmul_faster_per_flop_than_bmm(self):
+        device = a100()
+        big = matmul_op(65536, 768, 768)
+        small = bmm_op(1536, 512, 64, 512)
+        big_rate = big.flops / device.op_seconds(big)
+        small_rate = small.flops / device.op_seconds(small)
+        assert big_rate > small_rate
+
+    def test_tpu_pads_short_k(self):
+        # k=64 wastes half the 128-row MXU.
+        assert _mxu_utilization(10 ** 6, 64, 128) == pytest.approx(
+            0.5 * _mxu_utilization(10 ** 6, 128, 128), rel=1e-6)
+
+    def test_tpu_gelu_expansion_costs_more(self):
+        gelu = elementwise_op(OpKind.GELU, (1024, 1024))
+        add = elementwise_op(OpKind.ADD, (1024, 1024))
+        device = tpu_v3()
+        # 10x MulAdd expansion: GELU far more expensive than one add.
+        assert device.op_seconds(gelu) > 4 * device.op_seconds(add)
+
+    def test_gpu_gelu_is_single_kernel(self):
+        gelu = elementwise_op(OpKind.GELU, (1024, 1024))
+        add = elementwise_op(OpKind.ADD, (1024, 1024))
+        device = a100()
+        assert device.op_seconds(gelu) < 2 * device.op_seconds(add)
+
+    def test_kernel_overhead_floors_tiny_ops(self):
+        device = a100()
+        tiny = elementwise_op(OpKind.ADD, (2, 2))
+        assert device.op_seconds(tiny) >= device.spec.kernel_overhead
+
+
+class TestThroughput:
+    def test_calibrated_seq512_ratios(self):
+        # The calibration targets derived from the paper's speedup claims:
+        # A100 ~49.8 inf/s, TPUv3 ~61.6, TPUv2 ~26.7 (accelerated ops).
+        assert a100().throughput(CONFIG, 128, 512) \
+            == pytest.approx(49.8, rel=0.03)
+        assert tpu_v3().throughput(CONFIG, 128, 512) \
+            == pytest.approx(61.6, rel=0.03)
+        assert tpu_v2().throughput(CONFIG, 128, 512) \
+            == pytest.approx(26.7, rel=0.03)
+
+    def test_throughput_decreases_with_length(self):
+        device = a100()
+        fast = device.throughput(CONFIG, 64, 128)
+        slow = device.throughput(CONFIG, 64, 1024)
+        assert fast > 4 * slow
+
+    def test_efficiency_ordering_matches_figure1(self):
+        # A100 > TPUv3 > TPUv2 in inf/s/W at every length.
+        for seq_len in (64, 256, 1024):
+            batch = best_batch_for_length(seq_len)
+            gpu = a100().efficiency(CONFIG, batch, seq_len,
+                                    accelerated_only=False)
+            v3 = tpu_v3().efficiency(CONFIG, batch, seq_len,
+                                     accelerated_only=False)
+            v2 = tpu_v2().efficiency(CONFIG, batch, seq_len,
+                                     accelerated_only=False)
+            assert gpu > v3 > v2
+
+    def test_accelerated_only_excludes_other(self):
+        device = a100()
+        ops = trace_model(TraceSpec(CONFIG, batch=8, seq_len=128))
+        full = device.batch_seconds(ops, accelerated_only=False)
+        accel = device.batch_seconds(ops, accelerated_only=True)
+        assert accel < full
+
+    def test_category_seconds_cover_total(self):
+        device = a100()
+        ops = trace_model(TraceSpec(CONFIG, batch=4, seq_len=64))
+        categories = device.category_seconds(ops)
+        total = device.batch_seconds(ops, accelerated_only=False)
+        assert sum(categories.values()) == pytest.approx(total, rel=1e-9)
+
+
+class TestBestBatch:
+    def test_paper_profiling_batches(self):
+        # Section 2.3's batch table.
+        assert best_batch_for_length(32) == 24576
+        assert best_batch_for_length(512) == 512
+        assert best_batch_for_length(2048) == 64
+
+    def test_unlisted_lengths_interpolate(self):
+        # Unlisted lengths take the next-larger length's (memory-safe)
+        # batch; beyond the table the largest length's batch applies.
+        assert best_batch_for_length(300) == 512
+        assert best_batch_for_length(4096) == 64

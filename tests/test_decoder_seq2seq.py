@@ -1,0 +1,152 @@
+"""Tests for the decoder extension and its dataflow mapping."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    ArrayType,
+    DataflowKind,
+    build_graph_for,
+    build_seq2seq_graph,
+)
+from repro.model import ProteinSeq2Seq, causal_mask, protein_bert_base, protein_bert_tiny
+from repro.trace import TraceRecorder
+
+CONFIG = protein_bert_tiny()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ProteinSeq2Seq(CONFIG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(0)
+    source = rng.integers(5, 25, size=(2, 12))
+    target = rng.integers(5, 25, size=(2, 8))
+    return source, target
+
+
+class TestCausalMask:
+    def test_lower_triangle_open(self):
+        bias = causal_mask(4)
+        assert (bias[np.tril_indices(4)] == 0).all()
+
+    def test_upper_triangle_blocked(self):
+        bias = causal_mask(4)
+        assert (bias[np.triu_indices(4, k=1)] <= -1e8).all()
+
+
+class TestSeq2SeqModel:
+    def test_output_shape(self, model, inputs):
+        source, target = inputs
+        out = model.forward(source, target)
+        assert out.shape == (2, 8, CONFIG.hidden_size)
+
+    def test_causality(self, model, inputs):
+        # Changing a later target token must not change earlier positions.
+        source, target = inputs
+        out = model.forward(source, target)
+        mutated = target.copy()
+        mutated[0, -1] = (mutated[0, -1] + 7) % 20 + 5
+        out2 = model.forward(source, mutated)
+        assert np.allclose(out[0, :-1], out2[0, :-1], atol=1e-5)
+        assert not np.allclose(out[0, -1], out2[0, -1], atol=1e-5)
+
+    def test_source_affects_all_positions(self, model, inputs):
+        source, target = inputs
+        out = model.forward(source, target)
+        mutated = source.copy()
+        mutated[0, 0] = (mutated[0, 0] + 7) % 20 + 5
+        out2 = model.forward(mutated, target)
+        assert not np.allclose(out[0], out2[0], atol=1e-5)
+
+    def test_trace_records_cross_attention(self, model, inputs):
+        source, target = inputs
+        recorder = TraceRecorder()
+        model.forward(source, target, recorder)
+        names = [op.name for op in recorder]
+        assert any("cross.scores" in name for name in names)
+        assert any("self.scores" in name for name in names)
+
+    def test_deterministic(self, model, inputs):
+        source, target = inputs
+        assert np.array_equal(model.forward(source, target),
+                              model.forward(source, target))
+
+
+class TestSeq2SeqGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_seq2seq_graph(protein_bert_base(), batch=2,
+                                   src_len=128, tgt_len=64)
+
+    def test_acyclic(self, graph):
+        assert graph.validate_acyclic()
+
+    def test_dataflow_mix_per_decoder_layer(self, graph):
+        # Encoder contributes 5/1/1 per layer; each decoder layer adds
+        # 9x DF1 (2 attention blocks x 4 projections + FFN output),
+        # 1x DF2, 2x DF3.
+        kinds = [df.kind for _, df in graph.dataflows]
+        layers = protein_bert_base().num_layers
+        assert kinds.count(DataflowKind.DATAFLOW_1) == 5 * layers + 9 * layers
+        assert kinds.count(DataflowKind.DATAFLOW_2) == 2 * layers
+        assert kinds.count(DataflowKind.DATAFLOW_3) == 3 * layers
+
+    def test_causal_mask_in_self_attention_df3(self, graph):
+        from repro.trace import OpKind
+        self_df3 = next(df for _, df in graph.dataflows
+                        if df.name.endswith("layer.0.self"))
+        kinds = [op.kind for op in self_df3.ops]
+        assert OpKind.ADD in kinds     # the causal-mask addition
+
+    def test_cross_attention_reads_encoder(self, graph):
+        # Cross K/V projections depend on the encoder's final node.
+        names = {df.name: (index, df)
+                 for index, df in graph.dataflows}
+        _, cross_k = names["decoder.layer.0.cross.key"]
+        encoder_final = max(index for index, node
+                            in enumerate(graph.nodes)
+                            if getattr(node, "name", "")
+                            == "layer.11.output.layernorm")
+        assert cross_k.deps == (encoder_final,)
+
+    def test_decoder_depth_override(self):
+        graph = build_seq2seq_graph(protein_bert_base(), batch=1,
+                                    src_len=64, tgt_len=32,
+                                    decoder_layers=2)
+        decoder_df2 = [df for _, df in graph.dataflows
+                       if df.kind is DataflowKind.DATAFLOW_2
+                       and df.name.startswith("decoder")]
+        assert len(decoder_df2) == 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_seq2seq_graph(protein_bert_base(), batch=0,
+                                src_len=64, tgt_len=32)
+
+
+class TestSeq2SeqScheduling:
+    def test_schedules_on_prose(self):
+        from repro.arch import best_perf
+        from repro.sched import Orchestrator
+        config = protein_bert_base()
+        result = Orchestrator(best_perf()).run(
+            config, batch=8, seq_len=128,
+            graph_builder=lambda sub: build_seq2seq_graph(
+                config, batch=sub, src_len=128, tgt_len=64))
+        assert result.throughput > 0
+
+    def test_decoder_costs_throughput(self):
+        from repro.arch import best_perf
+        from repro.sched import Orchestrator
+        config = protein_bert_base()
+        orchestrator = Orchestrator(best_perf())
+        encoder_only = orchestrator.run(config, batch=8, seq_len=128)
+        seq2seq = orchestrator.run(
+            config, batch=8, seq_len=128,
+            graph_builder=lambda sub: build_seq2seq_graph(
+                config, batch=sub, src_len=128, tgt_len=64))
+        assert seq2seq.throughput < encoder_only.throughput

@@ -1,0 +1,68 @@
+"""Tests for the energy-attribution model."""
+
+import pytest
+
+from repro.arch import best_perf, homogeneous
+from repro.model import protein_bert_tiny
+from repro.physical import energy_report, format_energy, system_power_watts
+from repro.sched import Orchestrator
+
+CONFIG = protein_bert_tiny(num_layers=2, hidden_size=128, num_heads=4,
+                           intermediate_size=512, max_position=256)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return Orchestrator(best_perf()).run(CONFIG, batch=16, seq_len=128)
+
+
+@pytest.fixture(scope="module")
+def report(schedule):
+    return energy_report(schedule, best_perf())
+
+
+class TestEnergyReport:
+    def test_components_sum_to_total(self, report):
+        assert report.total_joules == pytest.approx(
+            report.active_joules + report.idle_joules
+            + report.host_joules)
+
+    def test_shares_sum_to_one(self, report):
+        total = report.share("idle") + report.share("host") + sum(
+            report.share(kind)
+            for kind, _ in report.active_joules_by_kind)
+        assert total == pytest.approx(1.0)
+
+    def test_all_kinds_attributed(self, report):
+        kinds = {kind for kind, _ in report.active_joules_by_kind}
+        assert kinds == {"dataflow1", "dataflow2", "dataflow3"}
+
+    def test_total_bounded_by_full_power_envelope(self, schedule, report):
+        # Energy can never exceed makespan x full system power (idle
+        # discount only reduces it).
+        envelope = (schedule.makespan_seconds
+                    * system_power_watts(best_perf()))
+        assert report.total_joules <= envelope * 1.001
+
+    def test_host_energy_scales_with_makespan(self, schedule, report):
+        from repro.sched import HOST_POWER_WATTS
+        assert report.host_joules == pytest.approx(
+            schedule.makespan_seconds * HOST_POWER_WATTS)
+
+    def test_per_inference_energy_positive(self, report):
+        assert report.joules_per_inference > 0
+
+    def test_unknown_component_rejected(self, report):
+        with pytest.raises(KeyError):
+            report.share("dataflow9")
+
+    def test_format_renders(self, report):
+        text = format_energy(report)
+        assert "mJ/inference" in text
+        assert "idle" in text
+
+    def test_pooled_config_supported(self):
+        schedule = Orchestrator(homogeneous()).run(CONFIG, batch=8,
+                                                   seq_len=64)
+        report = energy_report(schedule, homogeneous())
+        assert report.total_joules > 0

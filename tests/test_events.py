@@ -1,0 +1,124 @@
+"""Tests for the gap-aware resource timelines and pools."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import Pool, Timeline
+from repro.sched.events import common_start
+
+
+class TestTimeline:
+    def test_sequential_reservations(self):
+        timeline = Timeline("t")
+        assert timeline.reserve(0.0, 2.0) == (0.0, 2.0)
+        assert timeline.reserve(0.0, 3.0) == (2.0, 5.0)
+
+    def test_backfills_gaps(self):
+        timeline = Timeline("t")
+        timeline.reserve(10.0, 5.0)          # busy [10, 15]
+        start, end = timeline.reserve(0.0, 4.0)
+        assert (start, end) == (0.0, 4.0)    # fits before the future block
+
+    def test_gap_too_small_skipped(self):
+        timeline = Timeline("t")
+        timeline.reserve(0.0, 2.0)           # [0, 2]
+        timeline.reserve(3.0, 2.0)           # [3, 5]
+        start, _ = timeline.reserve(0.0, 2.0)
+        assert start == 5.0                  # 1-wide gap at [2,3] skipped
+
+    def test_exact_fit_gap_used(self):
+        timeline = Timeline("t")
+        timeline.reserve(0.0, 2.0)
+        timeline.reserve(4.0, 2.0)
+        start, _ = timeline.reserve(0.0, 2.0)
+        assert start == 2.0
+
+    def test_earliest_respected_inside_gap(self):
+        timeline = Timeline("t")
+        timeline.reserve(10.0, 2.0)
+        start, _ = timeline.reserve(3.0, 2.0)
+        assert start == 3.0
+
+    def test_busy_seconds_accumulate(self):
+        timeline = Timeline("t")
+        timeline.reserve(0.0, 2.0)
+        timeline.reserve(5.0, 3.0)
+        assert timeline.busy_seconds == pytest.approx(5.0)
+        assert timeline.utilization(10.0) == pytest.approx(0.5)
+
+    def test_zero_duration_allowed(self):
+        timeline = Timeline("t")
+        assert timeline.reserve(1.0, 0.0) == (1.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline("t").reserve(0.0, -1.0)
+
+    def test_reserve_at_requires_free_slot(self):
+        timeline = Timeline("t")
+        timeline.reserve(0.0, 5.0)
+        with pytest.raises(ValueError):
+            timeline.reserve_at(2.0, 1.0)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=10)), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_reservations_never_overlap(self, requests):
+        timeline = Timeline("t")
+        intervals = []
+        for earliest, duration in requests:
+            granted = timeline.reserve(earliest, duration)
+            if granted[1] > granted[0]:   # zero-width grants (including
+                intervals.append(granted)  # underflowed ones) occupy nothing
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0.1, max_value=10)), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_start_never_before_earliest(self, requests):
+        timeline = Timeline("t")
+        for earliest, duration in requests:
+            start, _ = timeline.reserve(earliest, duration)
+            assert start >= earliest - 1e-12
+
+
+class TestCommonStart:
+    def test_both_free(self):
+        a, b = Timeline("a"), Timeline("b")
+        assert common_start(1.0, [(a, 2.0), (b, 3.0)]) == 1.0
+
+    def test_pushed_by_busier_resource(self):
+        a, b = Timeline("a"), Timeline("b")
+        a.reserve(0.0, 5.0)
+        assert common_start(0.0, [(a, 1.0), (b, 1.0)]) == 5.0
+
+    def test_finds_shared_gap(self):
+        a, b = Timeline("a"), Timeline("b")
+        a.reserve(0.0, 2.0)       # a busy [0,2]
+        b.reserve(3.0, 2.0)       # b busy [3,5]
+        # A 1-second joint reservation fits at [2,3].
+        assert common_start(0.0, [(a, 1.0), (b, 1.0)]) == 2.0
+
+
+class TestPool:
+    def test_parallel_servers(self):
+        pool = Pool.with_servers("host", 2)
+        s1, _ = pool.reserve(0.0, 5.0)
+        s2, _ = pool.reserve(0.0, 5.0)
+        s3, _ = pool.reserve(0.0, 5.0)
+        assert s1 == 0.0 and s2 == 0.0
+        assert s3 == 5.0
+
+    def test_utilization_across_servers(self):
+        pool = Pool.with_servers("host", 2)
+        pool.reserve(0.0, 4.0)
+        assert pool.utilization(4.0) == pytest.approx(0.5)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            Pool.with_servers("host", 0)

@@ -1,0 +1,126 @@
+"""Tests for the InferenceSession, hardware generator, and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.arch.generator import (
+    ComponentInventory,
+    crosscheck_against_table2,
+    elaborate,
+    elaboration_report,
+)
+from repro.cli import build_parser, main
+from repro.core import InferenceSession
+from repro.dataflow import ArrayType
+from repro.model import ProteinBert, protein_bert_tiny
+from repro.proteins import SequenceGenerator
+
+
+class TestInferenceSession:
+    @pytest.fixture(scope="class")
+    def session(self):
+        model = ProteinBert(protein_bert_tiny(max_position=128), seed=0)
+        return InferenceSession(model)
+
+    def test_embed_shapes(self, session):
+        sequences = SequenceGenerator(seed=0).batch(3, 24)
+        result = session.embed(sequences)
+        assert result.embeddings.shape == (3, 64)
+        assert result.estimated_latency_seconds > 0
+        assert result.estimated_energy_joules > 0
+        assert not result.functional
+
+    def test_ragged_lengths_padded(self, session):
+        result = session.embed(["MEYQ", "ACDEFGHIKLMNP"])
+        assert result.embeddings.shape[0] == 2
+
+    def test_empty_input_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.embed([])
+
+    def test_functional_matches_reference(self):
+        model = ProteinBert(protein_bert_tiny(max_position=128), seed=1)
+        reference = InferenceSession(model, functional=False)
+        functional = InferenceSession(model, functional=True)
+        sequences = SequenceGenerator(seed=2).batch(2, 16)
+        a = reference.embed(sequences).embeddings
+        b = functional.embed(sequences).embeddings
+        assert np.corrcoef(a.ravel(), b.ravel())[0, 1] > 0.999
+
+    def test_small_factory(self):
+        session = InferenceSession.small()
+        assert session.model.config.hidden_size == 256
+
+    def test_rank_by(self, session):
+        order = session.rank_by(["a", "b", "c"], [0.1, 0.9, 0.5])
+        assert order == [1, 2, 0]
+
+    def test_rank_by_validates(self, session):
+        with pytest.raises(ValueError):
+            session.rank_by(["a"], [1.0, 2.0])
+
+    def test_energy_is_latency_times_power(self, session):
+        result = session.embed(["MEYQ"])
+        assert result.estimated_energy_joules == pytest.approx(
+            result.estimated_latency_seconds * 31.1, rel=0.05)
+
+
+class TestGenerator:
+    def test_pe_counts(self):
+        inventory = elaborate(16, ArrayType.M)
+        assert inventory.macs == 256
+        assert inventory.accumulator_bits == 256 * 32
+        assert inventory.simd_alus == 16
+        assert inventory.lut_bits == 0
+
+    def test_lut_bits_per_alu(self):
+        gelu = elaborate(16, ArrayType.G)
+        exp = elaborate(16, ArrayType.E)
+        assert gelu.lut_bits == 16 * 4096 * 8
+        assert exp.lut_bits == 16 * 6144 * 8
+
+    def test_rollup_tracks_table2(self):
+        # Structural pre-synthesis estimates land within ~40% of the
+        # synthesized anchors across every (size, type) point.
+        for (size, letter), (p_ratio, a_ratio) in \
+                crosscheck_against_table2().items():
+            assert 0.55 < p_ratio < 1.45, (size, letter, p_ratio)
+            assert 0.55 < a_ratio < 1.45, (size, letter, a_ratio)
+
+    def test_power_grows_with_size(self):
+        assert elaborate(64, ArrayType.M).power_mw() \
+            > 10 * elaborate(16, ArrayType.M).power_mw()
+
+    def test_report_renders(self):
+        report = elaboration_report(16, ArrayType.E)
+        assert "MAC datapaths" in report and "6144" not in report
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            elaborate(0, ArrayType.M)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--batch", "8"])
+        assert args.batch == 8
+
+    def test_zoo_command(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "esm-1b" in out
+
+    def test_embed_command(self, capsys):
+        assert main(["embed", "MEYQKLVIV"]) == 0
+        out = capsys.readouterr().out
+        assert "embedded 1 sequences" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--batch", "8", "--seq-len", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_unknown_hardware_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--hardware", "nope"])

@@ -1,0 +1,195 @@
+"""Tests for the op taxonomy, recorder, and symbolic tracer."""
+
+import numpy as np
+import pytest
+
+from repro.model import ProteinBert, protein_bert_base, protein_bert_tiny
+from repro.trace import (
+    Op,
+    OpKind,
+    TraceRecorder,
+    TraceSpec,
+    bmm_op,
+    count_by_kind,
+    elementwise_op,
+    flops_by_category,
+    matmul_op,
+    matmul_shapes,
+    trace_layer,
+    trace_model,
+)
+
+
+class TestOp:
+    def test_matmul_flops(self):
+        op = matmul_op(4, 5, 6)
+        assert op.flops == 2 * 4 * 5 * 6
+        assert op.elements == 24
+
+    def test_bmm_flops(self):
+        op = bmm_op(3, 4, 5, 6)
+        assert op.flops == 3 * 2 * 4 * 5 * 6
+        assert op.elements == 3 * 24
+
+    def test_matmul_shape_validated(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.MATMUL, shape=(4, 5))
+
+    def test_bmm_shape_validated(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.BMM, shape=(4, 5, 6))
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            matmul_op(0, 5, 6)
+
+    def test_sum_reduces_last_axis(self):
+        op = elementwise_op(OpKind.SUM, (2, 3, 4))
+        assert op.elements == 6
+
+    def test_elementwise_flops_linear(self):
+        op = elementwise_op(OpKind.ADD, (10, 10))
+        assert op.flops == 100
+
+    def test_bytes_moved_matmul(self):
+        op = matmul_op(4, 5, 6)
+        assert op.bytes_moved(2) == 2 * (20 + 30 + 24)
+
+    def test_bytes_moved_binary_elementwise(self):
+        op = elementwise_op(OpKind.ADD, (10,))
+        assert op.bytes_moved(2) == 2 * 30
+
+    def test_figure3_categories(self):
+        assert matmul_op(1, 1, 1).figure3_category == "Matrix Multiply"
+        assert bmm_op(1, 1, 1, 1).figure3_category == "Batched Mat Mul"
+        assert elementwise_op(OpKind.SOFTMAX, (2,)).figure3_category \
+            == "Softmax"
+        assert elementwise_op(OpKind.LAYERNORM, (2,)).figure3_category \
+            == "Other"
+
+    def test_scaled_preserves_identity(self):
+        op = matmul_op(4, 5, 6, name="x", layer=3)
+        scaled = op.scaled(16)
+        assert scaled.batch == 16
+        assert scaled.shape == op.shape and scaled.name == op.name
+
+
+class TestRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        ops = [matmul_op(1, 1, 1, name=f"op{i}") for i in range(3)]
+        for op in ops:
+            recorder.record(op)
+        assert [o.name for o in recorder] == ["op0", "op1", "op2"]
+
+    def test_disabled_recorder_ignores(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(matmul_op(1, 1, 1))
+        assert len(recorder) == 0
+
+    def test_by_kind_grouping(self):
+        recorder = TraceRecorder()
+        recorder.record(matmul_op(1, 1, 1))
+        recorder.record(elementwise_op(OpKind.ADD, (2,)))
+        recorder.record(matmul_op(2, 2, 2))
+        grouped = recorder.by_kind()
+        assert len(grouped[OpKind.MATMUL]) == 2
+        assert len(grouped[OpKind.ADD]) == 1
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(matmul_op(1, 1, 1))
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestTraceSpec:
+    def test_rejects_overlong_sequence(self):
+        config = protein_bert_tiny(max_position=64)
+        with pytest.raises(ValueError):
+            TraceSpec(config=config, seq_len=100)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            TraceSpec(config=protein_bert_tiny(), batch=0)
+
+
+class TestSymbolicTrace:
+    def test_matches_executed_trace_without_mask(self):
+        config = protein_bert_tiny()
+        model = ProteinBert(config, seed=1)
+        recorder = TraceRecorder()
+        ids = np.random.default_rng(0).integers(
+            0, config.vocab_size, size=(2, 16))
+        model.forward(ids, recorder=recorder)
+        symbolic = trace_model(TraceSpec(config, batch=2, seq_len=16))
+        assert recorder.kind_signature() == tuple(
+            (op.kind, op.shape) for op in symbolic)
+
+    def test_matches_executed_trace_with_mask(self):
+        config = protein_bert_tiny()
+        model = ProteinBert(config, seed=1)
+        recorder = TraceRecorder()
+        ids = np.random.default_rng(0).integers(
+            0, config.vocab_size, size=(3, 12))
+        mask = np.ones((3, 12), dtype=np.int64)
+        model.forward(ids, mask, recorder=recorder)
+        symbolic = trace_model(
+            TraceSpec(config, batch=3, seq_len=12, with_mask=True))
+        assert recorder.kind_signature() == tuple(
+            (op.kind, op.shape) for op in symbolic)
+
+    def test_per_layer_op_counts(self):
+        config = protein_bert_base()
+        layer_ops = trace_layer(TraceSpec(config, batch=1, seq_len=32), 0)
+        counts = count_by_kind(layer_ops)
+        assert counts[OpKind.MATMUL] == 6        # q,k,v,attn-out,ffn x2
+        assert counts[OpKind.BMM] == 2           # scores + context
+        assert counts[OpKind.SOFTMAX] == 1
+        assert counts[OpKind.GELU] == 1
+        assert counts[OpKind.LAYERNORM] == 2
+
+    def test_paper_matmul_shapes_at_batch_128(self):
+        # Section 3.1: attention/output sublayers use m = 65536 (batch 128
+        # x seq 512), k = 768/3072, n = 768.
+        config = protein_bert_base()
+        ops = trace_layer(TraceSpec(config, batch=128, seq_len=512), 0)
+        shapes = {op.shape for op in ops if op.kind is OpKind.MATMUL}
+        assert (65536, 768, 768) in shapes
+        assert (65536, 3072, 768) in shapes
+        assert (65536, 768, 3072) in shapes
+
+    def test_paper_bmm_shapes(self):
+        # Attention dot products: k = 64 per head.
+        config = protein_bert_base()
+        ops = trace_layer(TraceSpec(config, batch=2, seq_len=512), 0)
+        bmms = [op.shape for op in ops if op.kind is OpKind.BMM]
+        assert (2 * 12, 512, 64, 512) in bmms
+        assert (2 * 12, 512, 512, 64) in bmms
+
+    def test_flops_scale_linearly_with_batch(self):
+        config = protein_bert_tiny()
+        one = sum(op.flops for op in trace_model(
+            TraceSpec(config, batch=1, seq_len=32)))
+        four = sum(op.flops for op in trace_model(
+            TraceSpec(config, batch=4, seq_len=32)))
+        assert four == pytest.approx(4 * one, rel=1e-9)
+
+    def test_attention_flops_scale_quadratically_with_length(self):
+        config = protein_bert_tiny(max_position=512)
+        def bmm_flops(seq):
+            ops = trace_model(TraceSpec(config, batch=1, seq_len=seq))
+            return sum(op.flops for op in ops if op.kind is OpKind.BMM)
+        assert bmm_flops(128) == pytest.approx(4 * bmm_flops(64), rel=1e-9)
+
+    def test_flops_by_category_totals(self):
+        config = protein_bert_tiny()
+        ops = trace_model(TraceSpec(config, batch=1, seq_len=16))
+        categories = flops_by_category(ops)
+        assert sum(categories.values()) == sum(op.flops for op in ops)
+
+    def test_matmul_shapes_helper(self):
+        config = protein_bert_tiny()
+        ops = trace_model(TraceSpec(config, batch=1, seq_len=16))
+        shapes = matmul_shapes(ops)
+        assert len(shapes) == config.num_layers * 8

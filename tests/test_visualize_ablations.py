@@ -1,0 +1,91 @@
+"""Tests for the schedule visualizer and the ablation experiments."""
+
+import pytest
+
+from repro.arch import best_perf
+from repro.experiments import ablations
+from repro.model import protein_bert_tiny
+from repro.sched import Orchestrator
+from repro.sched.visualize import render_gantt, thread_timeline, utilization_summary
+
+CONFIG = protein_bert_tiny(num_layers=2, hidden_size=64, num_heads=4,
+                           intermediate_size=128)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return Orchestrator(best_perf()).run(CONFIG, batch=4, seq_len=32,
+                                         record_tasks=True)
+
+
+class TestVisualize:
+    def test_gantt_contains_resources_and_legend(self, schedule):
+        chart = render_gantt(schedule, width=60)
+        assert "legend" in chart
+        assert "64x64 M" in chart
+        assert "ms" in chart
+
+    def test_gantt_requires_task_log(self):
+        bare = Orchestrator(best_perf()).run(CONFIG, batch=2, seq_len=32)
+        with pytest.raises(ValueError):
+            render_gantt(bare)
+
+    def test_gantt_row_cap(self, schedule):
+        chart = render_gantt(schedule, width=40, max_rows=3)
+        rows = [line for line in chart.split("\n") if "|" in line]
+        assert len(rows) <= 3
+
+    def test_thread_timeline_ordered(self, schedule):
+        timeline = thread_timeline(schedule, thread=0)
+        assert timeline
+        starts = [start for _, start, _ in timeline]
+        assert starts == sorted(starts)
+
+    def test_utilization_summary_rows(self, schedule):
+        summary = utilization_summary(schedule)
+        for label in ("array:M", "array:G", "array:E", "link:M", "host"):
+            assert label in summary
+
+
+class TestAblations:
+    def test_input_buffer_always_helps(self):
+        points = ablations.input_buffer_ablation(
+            config=CONFIG, bandwidths_gbps=(90, 540), batch=8,
+            seq_len=128)
+        for point in points:
+            assert point.gain > 1.0
+
+    def test_buffer_matters_most_when_starved(self):
+        points = ablations.input_buffer_ablation(
+            config=CONFIG, bandwidths_gbps=(20, 5000), batch=8,
+            seq_len=128)
+        starved, ample = points
+        assert starved.gain > ample.gain
+
+    def test_chaining_helps_and_saves_traffic(self):
+        result = ablations.chaining_ablation(config=CONFIG, batch=8,
+                                             seq_len=128)
+        assert result.speedup > 1.0
+        assert 0.0 < result.traffic_saving < 1.0
+
+    def test_gelu_window_knee_at_paper_choice(self):
+        points = ablations.gelu_window_ablation()
+        by_window = {p.window: p for p in points}
+        # Error shrinks with wider windows; the paper's [-4, 3] choice is
+        # the first window with error comfortably below 0.05 at 4 KB.
+        assert by_window[(-2, 1)].max_error \
+            > by_window[(-4, 3)].max_error
+        assert by_window[(-4, 3)].max_error < 0.05
+        assert by_window[(-4, 3)].table_bytes == 4096
+
+    def test_format_result_renders(self):
+        results = (ablations.input_buffer_ablation(
+                       config=CONFIG, bandwidths_gbps=(90,), batch=4,
+                       seq_len=64),
+                   ablations.chaining_ablation(config=CONFIG, batch=4,
+                                               seq_len=64),
+                   ablations.gelu_window_ablation(windows=((-4, 3),)))
+        text = ablations.format_result(results)
+        assert "partial input buffer" in text
+        assert "chaining" in text
+        assert "[-4,3]" in text
