@@ -18,6 +18,7 @@ import numpy as np
 from ..dataflow.patterns import ArrayType
 from ..model.bert import ProteinBert
 from ..model.tensors import to_bfloat16
+from ..reliability.faults import FaultModel, FaultStats
 from .systolic import ExecutionStats, SimdOpcode, SimdStep, SystolicArray
 
 
@@ -28,14 +29,30 @@ class AcceleratedProteinBert:
         model: the reference model whose weights are executed.
         array_size: systolic array dimension used for all three types
             (numerics are size-independent; tiling stats are not).
+        fault_model: optional seeded fault injector shared by all three
+            arrays — GEMM tiles get ABFT-checked bfloat16 bit flips, LUT
+            evaluations get silent flips.  ``None`` keeps the datapath
+            bit-identical to the fault-free model.
     """
 
-    def __init__(self, model: ProteinBert, array_size: int = 16) -> None:
+    def __init__(self, model: ProteinBert, array_size: int = 16,
+                 fault_model: Optional[FaultModel] = None) -> None:
         self.model = model
-        self.m_array = SystolicArray(array_size, ArrayType.M)
-        self.g_array = SystolicArray(array_size, ArrayType.G)
-        self.e_array = SystolicArray(array_size, ArrayType.E)
+        self.fault_model = fault_model
+        self.m_array = SystolicArray(array_size, ArrayType.M,
+                                     fault_model=fault_model)
+        self.g_array = SystolicArray(array_size, ArrayType.G,
+                                     fault_model=fault_model)
+        self.e_array = SystolicArray(array_size, ArrayType.E,
+                                     fault_model=fault_model)
         self.stats = ExecutionStats()
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Aggregated fault counters (zeros when no fault model is set)."""
+        if self.fault_model is None:
+            return FaultStats()
+        return self.fault_model.stats
 
     # -- Dataflow 1: MatMul -> MulAdd on the M-Type array ---------------
 

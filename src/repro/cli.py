@@ -7,6 +7,8 @@
     python -m repro.cli binding
     python -m repro.cli embed MEYQKLVIV ACDEFGHIK
     python -m repro.cli zoo
+    python -m repro.cli reliability --fault-rate 0.05 --seed 7
+    python -m repro.cli reliability --sweep
 """
 
 from __future__ import annotations
@@ -105,6 +107,41 @@ def cmd_embed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_reliability(args: argparse.Namespace) -> int:
+    from .experiments import fault_campaign
+    from .model.config import protein_bert_tiny
+    from .reliability import FaultModel, FaultRates
+    from .system.multi import ProSESystem
+
+    if args.sweep:
+        result = fault_campaign.run(seed=args.seed)
+        print(fault_campaign.format_result(result))
+        return 0
+
+    rate = args.fault_rate
+    result = fault_campaign.run(fault_rates=(rate,), seed=args.seed)
+    report = result.serving_reports[0]
+    print(f"serving campaign @ fault rate {rate:g} (seed {args.seed}):")
+    print(f"  {report.summary()}")
+
+    config = protein_bert_tiny(num_layers=2, hidden_size=128, num_heads=4,
+                               intermediate_size=512, max_position=2048)
+    fault_model = FaultModel(
+        FaultRates(instance_failure=rate, link_transient=rate / 10.0),
+        seed=args.seed)
+    scenario = ProSESystem(instances=args.instances).simulate_with_faults(
+        config, batch=args.batch, seq_len=args.seq_len,
+        fault_model=fault_model)
+    reliability = scenario.reliability
+    print(f"{args.instances}-instance system @ instance-failure rate "
+          f"{rate:g}:")
+    print(f"  {reliability.summary()}")
+    print(f"  survivors: {scenario.survivors}, energy "
+          f"{scenario.energy_joules:.3f} J "
+          f"(fault-free {scenario.fault_free_energy_joules:.3f} J)")
+    return 0
+
+
 def cmd_zoo(args: argparse.Namespace) -> int:
     for name in zoo_names():
         print(describe(name))
@@ -157,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     zoo = sub.add_parser("zoo", help="list registered model scales")
     zoo.set_defaults(handler=cmd_zoo)
+
+    reliability = sub.add_parser(
+        "reliability",
+        help="fault-injection campaign and degraded-mode accounting")
+    reliability.add_argument("--fault-rate", type=float, default=0.05)
+    reliability.add_argument("--seed", type=int, default=2022)
+    reliability.add_argument("--instances", type=int, default=4)
+    reliability.add_argument("--batch", type=int, default=32)
+    reliability.add_argument("--seq-len", type=int, default=128)
+    reliability.add_argument("--sweep", action="store_true",
+                             help="sweep fault rates and print the "
+                                  "availability/goodput curve")
+    reliability.set_defaults(handler=cmd_reliability)
     return parser
 
 

@@ -50,7 +50,18 @@ class ProSEEngine:
     def simulate(self, batch: int = 128, seq_len: int = 512,
                  threads: Optional[int] = None,
                  record_tasks: bool = False) -> InferenceReport:
-        """Run the cycle-level simulation of one batched inference."""
+        """Run the cycle-level simulation of one batched inference.
+
+        Raises:
+            ValueError: on non-positive ``batch``, ``seq_len``, or
+                ``threads`` — nonsense schedules are rejected up front.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if seq_len <= 0:
+            raise ValueError(f"seq_len must be positive, got {seq_len}")
+        if threads is not None and threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
         schedule = self._orchestrator.run(
             self.model_config, batch=batch, seq_len=seq_len,
             threads=threads, record_tasks=record_tasks)

@@ -9,6 +9,7 @@ from . import (
     ablations,
     binding_study,
     extensions,
+    fault_campaign,
     figure01,
     figure03,
     figure04,
@@ -33,6 +34,7 @@ __all__ = [
     "ablations",
     "binding_study",
     "extensions",
+    "fault_campaign",
     "figure01",
     "figure03",
     "figure04",

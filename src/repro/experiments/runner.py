@@ -14,6 +14,7 @@ from . import (
     ablations,
     binding_study,
     extensions,
+    fault_campaign,
     numerics,
     sensitivity,
     figure01,
@@ -72,6 +73,8 @@ EXPERIMENTS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
      numerics.run, numerics.format_result),
     ("Sensitivity", "Robustness of conclusions to modeling knobs",
      sensitivity.run, sensitivity.format_result),
+    ("Reliability", "Fault-injection availability/goodput campaign",
+     fault_campaign.run, fault_campaign.format_result),
 )
 
 

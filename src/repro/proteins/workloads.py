@@ -139,6 +139,8 @@ def bucket_batches(workload: Workload, bucket_edges: Sequence[int],
     """
     if max_batch <= 0:
         raise ValueError("max_batch must be positive")
+    if not workload.items:
+        return []
     edges = sorted(bucket_edges)
     if workload.max_length > edges[-1]:
         raise ValueError("largest bucket edge must cover the workload")

@@ -1,0 +1,40 @@
+"""Fault injection, detection, and degradation-aware recovery.
+
+The reliability subsystem threads one seeded :class:`FaultModel` through
+every layer of the simulated stack:
+
+* **arch** — bfloat16 bit flips in systolic GEMM tiles (ABFT
+  column-checksum detection + recompute) and LUT evaluations (silent);
+* **system** — transient link errors and whole-instance failures, with
+  resharding recovery across survivors
+  (:meth:`repro.system.ProSESystem.simulate_with_faults`);
+* **serving** — batch retries with capped exponential backoff and
+  straggler-deadline reruns
+  (:class:`repro.system.CampaignSimulator`).
+
+Every fault-aware path is bit-identical to the fault-free one when the
+model is inert (all rates zero), and bit-reproducible for a given seed.
+"""
+
+from .abft import (
+    BF16_EPSILON,
+    checksum_row,
+    detect_corrupted_columns,
+    detection_threshold,
+)
+from .faults import FaultModel, FaultRates, FaultStats
+from .policy import DegradationPolicy, RetryPolicy
+from .report import ReliabilityReport
+
+__all__ = [
+    "BF16_EPSILON",
+    "DegradationPolicy",
+    "FaultModel",
+    "FaultRates",
+    "FaultStats",
+    "ReliabilityReport",
+    "RetryPolicy",
+    "checksum_row",
+    "detect_corrupted_columns",
+    "detection_threshold",
+]

@@ -1,0 +1,84 @@
+"""ABFT-style column-checksum detection for systolic-array GEMMs.
+
+Algorithm-based fault tolerance (Huang & Abraham) protects a matrix
+multiply C = A @ B by carrying one extra checksum row: the column sums of
+A are streamed through the array like any other row, so the array itself
+produces sum_i C[i, j] alongside the data.  Comparing that hardware
+checksum against the column sums of the delivered C exposes corrupted
+columns at the cost of one extra row per tile — the "lightweight" scheme
+ProSE would realistically deploy, since it reuses the existing MAC path.
+
+The functional model reproduces the scheme's real detection limits: the
+checksum row is itself carried in bfloat16, so its rounding noise sets a
+detection threshold.  Bit flips that move a value by less than that
+threshold (low mantissa bits of small elements) stay *silent* — exactly
+the silent-data-corruption residue hardware ABFT leaves behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.tensors import BF16_MANTISSA_BITS, to_bfloat16
+
+#: Unit roundoff of bfloat16 (one ulp at magnitude 1 is 2**-7; rounding
+#: error is at most half of that, but the checksum row both rounds its
+#: sum and re-rounds products, so we budget a full ulp).
+BF16_EPSILON = 2.0 ** (-(BF16_MANTISSA_BITS + 1))
+
+#: Multiplier on the analytic rounding bound before flagging a column.
+DEFAULT_SAFETY = 4.0
+
+#: fp32 accumulation-order noise factor: the checksum dot product and the
+#: column sums of C reduce in different orders, so they differ by a few
+#: ulps of float32 relative to the magnitude sum (headroom included).
+FP32_ACCUMULATION_EPSILON = 2.0 ** -20
+
+
+def checksum_row(a_bf16: np.ndarray) -> np.ndarray:
+    """The bfloat16 checksum row the array would stream: column sums of A."""
+    return to_bfloat16(a_bf16.sum(axis=0, dtype=np.float32))
+
+
+def detection_threshold(a_bf16: np.ndarray, b_bf16: np.ndarray,
+                        safety: float = DEFAULT_SAFETY) -> np.ndarray:
+    """Per-column detection threshold from bf16 rounding of the checksum.
+
+    Rounding the checksum row perturbs entry k by at most
+    ``BF16_EPSILON * |sum_i A[i, k]|``; propagating through B bounds the
+    checksum error per column j by ``eps * (|csum| @ |B|)[j]``.  A column
+    whose observed discrepancy exceeds ``safety`` times this bound cannot
+    be rounding noise and is flagged as corrupted.
+    """
+    magnitude = np.abs(checksum_row(a_bf16)) @ np.abs(b_bf16)
+    # bf16 rounding error is relative to the rounded checksum entries
+    # themselves (cancellation shrinks the absolute error too); the
+    # element-magnitude floor only needs to absorb fp32 reduction-order
+    # noise, which is six binades finer.
+    floor = FP32_ACCUMULATION_EPSILON * (
+        np.abs(a_bf16).sum(axis=0, dtype=np.float32) @ np.abs(b_bf16))
+    return safety * (BF16_EPSILON * magnitude + floor) + 1e-30
+
+
+def detect_corrupted_columns(a_bf16: np.ndarray, b_bf16: np.ndarray,
+                             result: np.ndarray,
+                             safety: float = DEFAULT_SAFETY) -> np.ndarray:
+    """Boolean mask of result columns whose checksum test fails.
+
+    Args:
+        a_bf16: left operand, already rounded to bfloat16.
+        b_bf16: right operand, already rounded to bfloat16.
+        result: the (possibly corrupted) fp32-accumulated product.
+        safety: multiplier on the rounding bound.
+
+    Returns:
+        mask of shape (result.shape[1],); True marks a detected column.
+    """
+    expected = checksum_row(a_bf16) @ b_bf16
+    observed = result.sum(axis=0, dtype=np.float32)
+    discrepancy = np.abs(expected - observed)
+    # Non-finite corruption (a flip landing on an exponent pattern the
+    # guard missed) always trips the checksum.
+    non_finite = ~np.isfinite(result).all(axis=0)
+    return (discrepancy > detection_threshold(a_bf16, b_bf16, safety)) \
+        | non_finite

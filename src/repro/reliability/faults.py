@@ -1,0 +1,286 @@
+"""Seeded, deterministic fault injection for the simulated ProSE stack.
+
+One :class:`FaultModel` instance threads through every layer of the
+simulator — systolic-array tiles, LUT evaluations, link transfers,
+whole-instance failures, and serving-layer batch attempts — drawing from
+*independent* seeded substreams per layer, so the fault sequence one
+layer sees does not depend on how many draws another layer made.  The
+same seed therefore reproduces the same fault scenario exactly, which is
+what makes fault-injection campaigns (and their regression tests)
+deterministic.
+
+Compute faults are single bfloat16 bit flips, the canonical SDC model:
+a flip lands in one element of one output tile, in a uniformly chosen
+bit of the 16-bit bfloat16 pattern (sign, 8 exponent, 7 mantissa).
+GEMM outputs are protected by the ABFT column checksums of
+:mod:`repro.reliability.abft` — detected columns are recomputed
+(restored), undetected flips persist into downstream math as silent
+data corruption.  LUT outputs have no checksum (sums do not commute
+with nonlinear functions), so LUT flips are always silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .abft import detect_corrupted_columns
+
+#: Substream labels — each gets an independent RNG child stream.
+_STREAMS = ("compute", "link", "instance", "serving")
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-event fault probabilities for every layer of the stack.
+
+    All rates default to zero: a default-constructed model is inert and
+    every wrapped code path is bit-identical to the fault-free one.
+
+    Attributes:
+        tile_bitflip: probability that one output tile of a systolic
+            GEMM suffers a single bfloat16 bit flip.
+        lut_bitflip: probability per SIMD tile that a LUT evaluation
+            (GELU/Exp) output suffers a single bit flip.
+        link_transient: probability that one host-accelerator dispatch
+            experiences a transient link error and must retransmit.
+        instance_failure: probability that a ProSE instance hard-fails
+            during one multi-instance batch.
+        batch_failure: probability that one serving-layer batch attempt
+            fails and must be retried.
+        straggler: probability that one serving-layer batch straggles.
+        straggler_slowdown: execution-time multiplier of a straggling
+            batch (stragglers beyond the policy deadline are rerun).
+    """
+
+    tile_bitflip: float = 0.0
+    lut_bitflip: float = 0.0
+    link_transient: float = 0.0
+    instance_failure: float = 0.0
+    batch_failure: float = 0.0
+    straggler: float = 0.0
+    straggler_slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("tile_bitflip", "lut_bitflip", "link_transient",
+                     "instance_failure", "batch_failure", "straggler"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1], "
+                                 f"got {value}")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1.0")
+
+    @property
+    def any_nonzero(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in (
+            "tile_bitflip", "lut_bitflip", "link_transient",
+            "instance_failure", "batch_failure", "straggler"))
+
+
+@dataclass
+class FaultStats:
+    """Mutable counters accumulated by one fault model across a run."""
+
+    injected: int = 0            # total bit flips (GEMM + LUT)
+    gemm_flips: int = 0
+    lut_flips: int = 0
+    detected: int = 0            # flips caught (and corrected) by ABFT
+    silent: int = 0              # flips that escaped detection
+    corrected_columns: int = 0   # result columns restored by recompute
+
+    @property
+    def silent_error_rate(self) -> float:
+        """Fraction of injected flips that escaped detection."""
+        return self.silent / self.injected if self.injected else 0.0
+
+
+class FaultModel:
+    """Deterministic fault injector shared by every simulator layer.
+
+    Args:
+        rates: per-event fault probabilities (default: all zero, inert).
+        seed: root seed; every substream derives from (seed, stream id).
+        targeted_instance_failures: instance indices that *always* fail
+            in the next multi-instance simulation — the deterministic
+            "kill instance k" primitive real fault-injection campaigns
+            use to exercise a specific recovery path.
+    """
+
+    def __init__(self, rates: Optional[FaultRates] = None, seed: int = 0,
+                 targeted_instance_failures: Tuple[int, ...] = ()) -> None:
+        self.rates = rates or FaultRates()
+        self.seed = seed
+        self.targeted_instance_failures = tuple(targeted_instance_failures)
+        self.stats = FaultStats()
+        self._rngs = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind every substream and zero the counters.
+
+        After ``reset()`` the model replays the exact same fault sequence,
+        so two identical simulations bracket by ``reset()`` produce
+        bit-identical outcomes.
+        """
+        self._rngs = {name: np.random.default_rng([self.seed, index])
+                      for index, name in enumerate(_STREAMS)}
+        self.stats = FaultStats()
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can actually occur."""
+        return self.rates.any_nonzero or bool(self.targeted_instance_failures)
+
+    # -- compute faults: bfloat16 bit flips into GEMM / LUT tiles --------
+
+    @staticmethod
+    def _flip_bf16_bit(value: np.float32, bit: int) -> np.float32:
+        """Flip one bit of the bfloat16 pattern (bit 0..15, LSB-first).
+
+        bfloat16 occupies the top 16 bits of the float32 encoding, so
+        pattern bit ``b`` is float32 bit ``16 + b``.  Flips that would
+        produce a non-finite value (exponent landing on all-ones) fall
+        back to the lowest mantissa bit — the hardware analogue is an
+        upset in the mantissa SRAM rather than a synthetic Inf.
+        """
+        bits = np.float32(value).view(np.uint32)
+        flipped = np.uint32(bits ^ np.uint32(1 << (16 + bit)))
+        result = flipped.view(np.float32)
+        if not np.isfinite(result):
+            flipped = np.uint32(bits ^ np.uint32(1 << 16))
+            result = flipped.view(np.float32)
+        return result
+
+    def _inject_tile_flips(self, values: np.ndarray, tiles_rows: int,
+                           tiles_cols: int, rate: float
+                           ) -> Tuple[np.ndarray, Tuple[Tuple[int, int], ...]]:
+        """Flip one bit in up to Binomial(tiles, rate) output tiles.
+
+        Returns the (possibly copied) array and the flipped positions.
+        """
+        rng = self._rngs["compute"]
+        tiles = tiles_rows * tiles_cols
+        count = int(rng.binomial(tiles, rate)) if rate > 0.0 else 0
+        if count == 0:
+            return values, ()
+        rows, cols = values.shape
+        tile_height = -(-rows // tiles_rows)  # ceil division
+        tile_width = -(-cols // tiles_cols)
+        corrupted = values.copy()
+        positions = []
+        for _ in range(count):
+            tile = int(rng.integers(tiles))
+            tile_row, tile_col = divmod(tile, tiles_cols)
+            row = min(tile_row * tile_height
+                      + int(rng.integers(tile_height)), rows - 1)
+            col = min(tile_col * tile_width
+                      + int(rng.integers(tile_width)), cols - 1)
+            bit = int(rng.integers(16))
+            corrupted[row, col] = self._flip_bf16_bit(corrupted[row, col],
+                                                      bit)
+            positions.append((row, col))
+        return corrupted, tuple(positions)
+
+    def corrupt_gemm(self, result: np.ndarray, a_bf16: np.ndarray,
+                     b_bf16: np.ndarray, array_size: int) -> np.ndarray:
+        """Inject tile bit flips into a GEMM result, then run ABFT.
+
+        Detected columns are restored (the recompute a real controller
+        would trigger); silent flips remain in the returned matrix.
+        """
+        if self.rates.tile_bitflip <= 0.0 or result.size == 0:
+            return result
+        tiles_rows = -(-result.shape[0] // array_size)
+        tiles_cols = -(-result.shape[1] // array_size)
+        corrupted, positions = self._inject_tile_flips(
+            result, tiles_rows, tiles_cols, self.rates.tile_bitflip)
+        if not positions:
+            return result
+        self.stats.injected += len(positions)
+        self.stats.gemm_flips += len(positions)
+        flagged = detect_corrupted_columns(a_bf16, b_bf16, corrupted)
+        for _, col in positions:
+            if flagged[col]:
+                self.stats.detected += 1
+            else:
+                self.stats.silent += 1
+        repaired_columns = np.flatnonzero(flagged)
+        if repaired_columns.size:
+            corrupted[:, repaired_columns] = result[:, repaired_columns]
+            self.stats.corrected_columns += int(repaired_columns.size)
+        return corrupted
+
+    def corrupt_lut(self, result: np.ndarray,
+                    array_size: int) -> np.ndarray:
+        """Inject tile bit flips into a LUT (GELU/Exp) evaluation.
+
+        There is no checksum that survives a nonlinear function, so every
+        LUT flip is silent data corruption.
+        """
+        if self.rates.lut_bitflip <= 0.0 or result.size == 0:
+            return result
+        if result.ndim != 2:
+            flat = result.reshape(result.shape[0], -1) if result.ndim > 1 \
+                else result.reshape(1, -1)
+        else:
+            flat = result
+        tiles_rows = -(-flat.shape[0] // array_size)
+        tiles_cols = -(-flat.shape[1] // array_size)
+        corrupted, positions = self._inject_tile_flips(
+            flat, tiles_rows, tiles_cols, self.rates.lut_bitflip)
+        if not positions:
+            return result
+        self.stats.injected += len(positions)
+        self.stats.lut_flips += len(positions)
+        self.stats.silent += len(positions)
+        return corrupted.reshape(result.shape)
+
+    # -- link faults ------------------------------------------------------
+
+    def link_transients(self, transfers: int) -> int:
+        """Transient link errors among ``transfers`` dispatches."""
+        if self.rates.link_transient <= 0.0 or transfers <= 0:
+            return 0
+        return int(self._rngs["link"].binomial(transfers,
+                                               self.rates.link_transient))
+
+    # -- instance faults --------------------------------------------------
+
+    def failed_instances(self, count: int) -> Tuple[int, ...]:
+        """Indices of instances that hard-fail this batch (sorted)."""
+        failed = {i for i in self.targeted_instance_failures if i < count}
+        if self.rates.instance_failure > 0.0:
+            draws = self._rngs["instance"].random(count)
+            failed.update(
+                i for i in range(count)
+                if draws[i] < self.rates.instance_failure)
+        return tuple(sorted(failed))
+
+    def failure_fraction(self) -> float:
+        """Fraction of a failed unit's work completed before the fault."""
+        return float(self._rngs["instance"].random())
+
+    # -- serving faults ---------------------------------------------------
+
+    def batch_event(self) -> str:
+        """Outcome of one serving-layer batch attempt.
+
+        Returns:
+            "fail", "straggle", or "ok" — drawn from the serving stream.
+        """
+        rates = self.rates
+        if rates.batch_failure <= 0.0 and rates.straggler <= 0.0:
+            return "ok"
+        draw = float(self._rngs["serving"].random())
+        if draw < rates.batch_failure:
+            return "fail"
+        if draw < rates.batch_failure + rates.straggler:
+            return "straggle"
+        return "ok"
+
+    def attempt_fraction(self) -> float:
+        """Fraction of a batch attempt elapsed before its failure."""
+        return float(self._rngs["serving"].random())

@@ -1,0 +1,80 @@
+"""Degradation and retry policies for the fault-aware system layers.
+
+Two knobs-objects, both frozen dataclasses so a policy can be shared
+between runs without aliasing surprises:
+
+* :class:`RetryPolicy` governs the serving layer — capped exponential
+  backoff between batch retries and the straggler deadline multiple
+  beyond which a batch is killed and rerun instead of awaited.
+* :class:`DegradationPolicy` governs the multi-instance system — how
+  long failure detection takes (heartbeat timeout, as a fraction of the
+  failed shard's expected completion) and how many survivors resharding
+  requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Serving-layer retry semantics (capped exponential backoff).
+
+    Attributes:
+        max_retries: attempts beyond the first before a batch is dropped.
+        backoff_base_seconds: backoff before the first retry.
+        backoff_multiplier: growth factor per further retry.
+        backoff_cap_seconds: upper bound on any single backoff.
+        straggler_deadline_multiple: a batch exceeding this multiple of
+            its nominal makespan is killed at the deadline and rerun.
+    """
+
+    max_retries: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 1.0
+    straggler_deadline_multiple: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+        if self.straggler_deadline_multiple < 1.0:
+            raise ValueError("straggler_deadline_multiple must be >= 1.0")
+
+    def backoff_seconds(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based), capped."""
+        return min(self.backoff_base_seconds
+                   * self.backoff_multiplier ** retry_index,
+                   self.backoff_cap_seconds)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Multi-instance failure handling: detect, reshard, re-account.
+
+    Attributes:
+        detection_fraction: heartbeat-timeout cost of noticing a dead
+            instance, as a fraction of the failed shard's expected
+            makespan (detection cannot be instant — the host only
+            learns of the failure after a missed heartbeat window).
+        min_survivors: below this many healthy instances the system
+            declares an outage and restarts everything from scratch.
+    """
+
+    detection_fraction: float = 0.1
+    min_survivors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.detection_fraction < 0:
+            raise ValueError("detection_fraction must be non-negative")
+        if self.min_survivors < 1:
+            raise ValueError("min_survivors must be at least 1")
+
+    def detection_seconds(self, shard_makespan: float) -> float:
+        """Time between an instance dying and the host noticing."""
+        return self.detection_fraction * shard_makespan

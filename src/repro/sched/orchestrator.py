@@ -159,7 +159,11 @@ class Orchestrator:
             A :class:`ScheduleResult` with makespan and utilizations.
         """
         if batch <= 0:
-            raise ValueError("batch must be positive")
+            raise ValueError(f"batch must be positive, got {batch}")
+        if seq_len <= 0:
+            raise ValueError(f"seq_len must be positive, got {seq_len}")
+        if threads is not None and threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
         thread_count = threads if threads is not None else self.hardware.threads
         thread_count = max(1, min(thread_count, batch))
 

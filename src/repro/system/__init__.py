@@ -9,6 +9,7 @@ from .serving import (
 from .multi import (
     DEFAULT_INSTANCES,
     ProSESystem,
+    ReliableSystemReport,
     SystemReport,
     format_scaling,
     scaling_study,
@@ -21,6 +22,7 @@ __all__ = [
     "DEFAULT_INSTANCES",
     "format_campaign",
     "ProSESystem",
+    "ReliableSystemReport",
     "SystemReport",
     "format_scaling",
     "scaling_study",

@@ -18,6 +18,9 @@ from ..baselines.roofline import RooflineDevice
 from ..model.config import BertConfig, protein_bert_base
 from ..physical.power import power_report
 from ..proteins.workloads import Workload, bucket_batches
+from ..reliability.faults import FaultModel
+from ..reliability.policy import RetryPolicy
+from ..reliability.report import ReliabilityReport
 from ..sched.orchestrator import Orchestrator
 
 #: Default padding buckets (token lengths after the 2 special tokens).
@@ -35,6 +38,8 @@ class CampaignReport:
         sequences: inferences completed.
         padded_tokens: tokens processed including padding.
         useful_tokens: tokens the workload actually contains.
+        reliability: fault/retry accounting when the campaign ran under
+            an active fault model; None on fault-free runs.
     """
 
     platform: str
@@ -43,14 +48,20 @@ class CampaignReport:
     sequences: int
     padded_tokens: int
     useful_tokens: int
+    reliability: Optional[ReliabilityReport] = None
 
     @property
     def throughput(self) -> float:
+        """Inferences per second; 0.0 for an empty campaign."""
+        if self.total_seconds <= 0.0:
+            return 0.0
         return self.sequences / self.total_seconds
 
     @property
     def padding_waste(self) -> float:
-        """Fraction of processed tokens that were padding."""
+        """Fraction of processed tokens that were padding (0.0 if none)."""
+        if self.padded_tokens <= 0:
+            return 0.0
         return 1.0 - self.useful_tokens / self.padded_tokens
 
 
@@ -62,16 +73,27 @@ class CampaignSimulator:
         hardware: ProSE instance configuration.
         buckets: padded-length buckets for batching.
         max_batch: sequences per padded batch.
+        fault_model: optional seeded fault injector; batch attempts may
+            then fail (retried with capped exponential backoff) or
+            straggle (killed and rerun past the deadline multiple), and
+            the resulting :class:`~repro.reliability.ReliabilityReport`
+            is attached to the campaign report.
+        retry_policy: backoff/deadline knobs; defaults apply when a
+            fault model is given without a policy.
     """
 
     def __init__(self, model_config: Optional[BertConfig] = None,
                  hardware: Optional[HardwareConfig] = None,
                  buckets: Sequence[int] = DEFAULT_BUCKETS,
-                 max_batch: int = 64) -> None:
+                 max_batch: int = 64,
+                 fault_model: Optional[FaultModel] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.model_config = model_config or protein_bert_base()
         self.hardware = hardware or best_perf()
         self.buckets = tuple(buckets)
         self.max_batch = max_batch
+        self.fault_model = fault_model
+        self.retry_policy = retry_policy or RetryPolicy()
         self._orchestrator = Orchestrator(self.hardware)
         self._prose_power = power_report(self.hardware).system_power_w
 
@@ -80,22 +102,104 @@ class CampaignSimulator:
                               max_batch=self.max_batch)
 
     def run_on_prose(self, workload: Workload) -> CampaignReport:
-        """Simulate the campaign on the configured ProSE instance."""
+        """Simulate the campaign on the configured ProSE instance.
+
+        Without an active fault model batches run back-to-back exactly
+        as before (bit-identical accounting).  Under faults each batch
+        is attempted until it succeeds, is dropped after
+        ``retry_policy.max_retries`` re-attempts, or — when it straggles
+        past the deadline multiple — is killed and rerun; all partial
+        attempts, backoff waits, and straggler overruns are charged to
+        the campaign clock and reported in the attached
+        :class:`~repro.reliability.ReliabilityReport`.
+        """
         total_seconds = 0.0
+        useful_seconds = 0.0
+        wasted_seconds = 0.0
         padded_tokens = 0
+        completed = 0
+        retries = stragglers = failures = dropped = 0
+        faulty = self.fault_model is not None and self.fault_model.active
+        policy = self.retry_policy
         for length, batch in self._batches(workload):
             schedule = self._orchestrator.run(self.model_config,
                                               batch=batch,
                                               seq_len=length)
-            total_seconds += schedule.makespan_seconds
+            nominal = schedule.makespan_seconds
             padded_tokens += length * batch
+            if not faulty:
+                total_seconds += nominal
+                useful_seconds += nominal
+                completed += batch
+                continue
+            attempt = 0
+            while True:
+                event = self.fault_model.batch_event()
+                if event == "fail":
+                    failures += 1
+                    partial = (self.fault_model.attempt_fraction()
+                               * nominal)
+                    total_seconds += partial
+                    wasted_seconds += partial
+                    if attempt >= policy.max_retries:
+                        dropped += batch
+                        break
+                    backoff = policy.backoff_seconds(attempt)
+                    total_seconds += backoff
+                    wasted_seconds += backoff
+                    retries += 1
+                    attempt += 1
+                    continue
+                if event == "straggle":
+                    slowdown = self.fault_model.rates.straggler_slowdown
+                    deadline = (policy.straggler_deadline_multiple
+                                * nominal)
+                    if (slowdown * nominal > deadline
+                            and attempt < policy.max_retries):
+                        # Kill the straggler at the deadline and rerun.
+                        total_seconds += deadline
+                        wasted_seconds += deadline
+                        stragglers += 1
+                        retries += 1
+                        attempt += 1
+                        continue
+                    # Tolerable straggle (or retries exhausted): wait it
+                    # out; the overrun beyond nominal is waste.
+                    total_seconds += slowdown * nominal
+                    useful_seconds += nominal
+                    wasted_seconds += (slowdown - 1.0) * nominal
+                    completed += batch
+                    break
+                total_seconds += nominal
+                useful_seconds += nominal
+                completed += batch
+                break
+        reliability = None
+        if faulty:
+            stats = self.fault_model.stats
+            reliability = ReliabilityReport(
+                availability=(useful_seconds / total_seconds
+                              if total_seconds > 0 else 1.0),
+                goodput=(completed / total_seconds
+                         if total_seconds > 0 else 0.0),
+                retries=retries,
+                failures=failures,
+                stragglers=stragglers,
+                dropped=dropped,
+                wasted_seconds=wasted_seconds,
+                wasted_joules=wasted_seconds * self._prose_power,
+                faults_injected=stats.injected,
+                faults_detected=stats.detected,
+                faults_silent=stats.silent)
         return CampaignReport(
             platform=f"ProSE {self.hardware.name}",
             total_seconds=total_seconds,
             total_energy_joules=total_seconds * self._prose_power,
-            sequences=len(workload),
+            sequences=completed,
             padded_tokens=padded_tokens,
-            useful_tokens=int(workload.lengths.sum()))
+            useful_tokens=int(workload.lengths.sum()) if len(workload)
+            else 0,
+            reliability=reliability)
 
     def run_on_baseline(self, workload: Workload,
                         device: Optional[RooflineDevice] = None

@@ -31,6 +31,12 @@ from ..model.tensors import to_bfloat16
 #: operand magnitude scale (bf16 epsilon times accumulation headroom).
 RELATIVE_TOLERANCE = 0.02
 
+#: Absolute error floor: the GELU LUT truncates inputs below its
+#: exponent window (|x| < 2**-4) to 0, contributing up to
+#: GELU(2**-4) ~ 0.033 of error regardless of the output scale, on top
+#: of bf16 rounding of small outputs.
+ABSOLUTE_TOLERANCE = 0.04
+
 
 @dataclass(frozen=True)
 class CaseResult:
@@ -43,7 +49,8 @@ class CaseResult:
 
     @property
     def passed(self) -> bool:
-        budget = RELATIVE_TOLERANCE * max(self.reference_scale, 1.0)
+        budget = (RELATIVE_TOLERANCE * max(self.reference_scale, 1.0)
+                  + ABSOLUTE_TOLERANCE)
         return self.exact_match and self.reference_error <= budget
 
 

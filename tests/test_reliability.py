@@ -1,0 +1,315 @@
+"""Tests for fault injection, ABFT detection, and degraded-mode recovery."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerated_model import AcceleratedProteinBert
+from repro.core.engine import ProSEEngine
+from repro.model import ProteinBert, protein_bert_tiny
+from repro.model.tensors import to_bfloat16
+from repro.proteins.workloads import Workload, screening_campaign
+from repro.reliability import (
+    DegradationPolicy,
+    FaultModel,
+    FaultRates,
+    RetryPolicy,
+    detect_corrupted_columns,
+)
+from repro.system import (
+    CampaignReport,
+    CampaignSimulator,
+    ProSESystem,
+)
+
+TINY = protein_bert_tiny(num_layers=2, hidden_size=64, num_heads=4,
+                         intermediate_size=128)
+SERVING_CONFIG = protein_bert_tiny(num_layers=2, hidden_size=128,
+                                   num_heads=4, intermediate_size=512,
+                                   max_position=2048)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return ProteinBert(TINY, seed=9)
+
+
+@pytest.fixture(scope="module")
+def token_ids():
+    rng = np.random.default_rng(0)
+    return rng.integers(5, 25, size=(2, 12))
+
+
+class TestFaultRates:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultRates(tile_bitflip=1.5)
+        with pytest.raises(ValueError):
+            FaultRates(batch_failure=-0.1)
+
+    def test_rejects_bad_slowdown(self):
+        with pytest.raises(ValueError):
+            FaultRates(straggler_slowdown=0.5)
+
+    def test_inert_by_default(self):
+        assert not FaultModel().active
+        assert FaultModel(FaultRates(), seed=3).active is False
+        assert FaultModel(targeted_instance_failures=(0,)).active
+
+
+class TestAbftDetection:
+    def test_clean_result_not_flagged(self):
+        rng = np.random.default_rng(1)
+        a = to_bfloat16(rng.normal(size=(48, 96)).astype(np.float32))
+        b = to_bfloat16(rng.normal(size=(96, 48)).astype(np.float32))
+        assert not detect_corrupted_columns(a, b, a @ b).any()
+
+    def test_large_flip_detected(self):
+        rng = np.random.default_rng(2)
+        a = to_bfloat16(rng.normal(size=(16, 8)).astype(np.float32))
+        b = to_bfloat16(rng.normal(size=(8, 16)).astype(np.float32))
+        result = a @ b
+        corrupted = result.copy()
+        corrupted[3, 5] += 100.0  # far beyond any rounding bound
+        flags = detect_corrupted_columns(a, b, corrupted)
+        assert flags[5]
+        assert flags.sum() == 1
+
+    def test_nonfinite_always_detected(self):
+        rng = np.random.default_rng(3)
+        a = to_bfloat16(rng.normal(size=(8, 8)).astype(np.float32))
+        b = to_bfloat16(rng.normal(size=(8, 8)).astype(np.float32))
+        corrupted = (a @ b).copy()
+        corrupted[0, 0] = np.inf
+        assert detect_corrupted_columns(a, b, corrupted)[0]
+
+
+class TestComputeFaultInjection:
+    def test_zero_rate_bit_identical(self, tiny_model, token_ids):
+        clean = AcceleratedProteinBert(tiny_model, array_size=8)
+        wrapped = AcceleratedProteinBert(tiny_model, array_size=8,
+                                         fault_model=FaultModel(seed=1))
+        assert np.array_equal(clean.forward(token_ids),
+                              wrapped.forward(token_ids))
+
+    def test_seeded_injection_reproducible(self, tiny_model, token_ids):
+        rates = FaultRates(tile_bitflip=0.02, lut_bitflip=0.02)
+
+        def run():
+            accelerated = AcceleratedProteinBert(
+                tiny_model, array_size=8,
+                fault_model=FaultModel(rates, seed=7))
+            out = accelerated.forward(token_ids)
+            return out, accelerated.fault_stats
+
+        first, first_stats = run()
+        second, second_stats = run()
+        assert np.array_equal(first, second)
+        assert first_stats == second_stats
+
+    def test_detected_plus_silent_covers_injected(self, tiny_model,
+                                                  token_ids):
+        fault_model = FaultModel(
+            FaultRates(tile_bitflip=0.02, lut_bitflip=0.02), seed=7)
+        accelerated = AcceleratedProteinBert(tiny_model, array_size=8,
+                                             fault_model=fault_model)
+        accelerated.forward(token_ids)
+        stats = accelerated.fault_stats
+        assert stats.injected > 0
+        assert stats.detected + stats.silent == stats.injected
+        assert stats.gemm_flips + stats.lut_flips == stats.injected
+        # LUT flips are always silent; some GEMM flips must be caught.
+        assert stats.detected > 0
+        assert 0.0 <= stats.silent_error_rate <= 1.0
+
+    def test_reset_replays_fault_sequence(self, tiny_model, token_ids):
+        fault_model = FaultModel(FaultRates(tile_bitflip=0.05), seed=4)
+        accelerated = AcceleratedProteinBert(tiny_model, array_size=8,
+                                             fault_model=fault_model)
+        first = accelerated.forward(token_ids)
+        stats = fault_model.stats
+        fault_model.reset()
+        second = accelerated.forward(token_ids)
+        assert np.array_equal(first, second)
+        assert fault_model.stats == stats
+
+
+class TestSystemDegradation:
+    def test_zero_rate_bit_identical(self):
+        system = ProSESystem(instances=4)
+        base = system.simulate(TINY, batch=16, seq_len=64)
+        wrapped = system.simulate_with_faults(
+            TINY, batch=16, seq_len=64, fault_model=FaultModel(seed=3))
+        assert wrapped.makespan_seconds == base.makespan_seconds
+        assert wrapped.throughput == base.throughput
+        assert wrapped.energy_joules == wrapped.fault_free_energy_joules
+        assert wrapped.reliability.availability == 1.0
+        assert wrapped.reliability.retries == 0
+        assert wrapped.recovery == ()
+
+    def test_instance_failure_resharded_and_reaccounted(self):
+        system = ProSESystem(instances=4)
+        fault_model = FaultModel(seed=11, targeted_instance_failures=(1,))
+        degraded = system.simulate_with_faults(TINY, batch=32, seq_len=64,
+                                               fault_model=fault_model)
+        reliability = degraded.reliability
+        # The full batch completes via resharding across survivors.
+        assert degraded.batch == 32
+        assert degraded.survivors == 3
+        lost = degraded.base.per_instance[1].batch
+        assert sum(shard.batch for shard in degraded.recovery) == lost
+        assert reliability.availability < 1.0
+        assert reliability.retries > 0
+        assert reliability.failures == 1
+        assert degraded.energy_joules > degraded.fault_free_energy_joules
+        assert reliability.wasted_joules > 0.0
+        assert (degraded.makespan_seconds
+                > degraded.base.makespan_seconds)
+
+    def test_same_seed_identical_reports(self):
+        def run():
+            fault_model = FaultModel(
+                FaultRates(instance_failure=0.4, link_transient=0.01),
+                seed=13)
+            return ProSESystem(instances=4).simulate_with_faults(
+                TINY, batch=16, seq_len=64, fault_model=fault_model)
+
+        first, second = run(), run()
+        assert first.reliability == second.reliability
+        assert first.makespan_seconds == second.makespan_seconds
+        assert first.energy_joules == second.energy_joules
+
+    def test_link_transients_delay_and_retry(self):
+        fault_model = FaultModel(FaultRates(link_transient=0.05), seed=2)
+        report = ProSESystem(instances=2).simulate_with_faults(
+            TINY, batch=16, seq_len=64, fault_model=fault_model)
+        assert report.reliability.retries > 0
+        assert report.makespan_seconds > report.base.makespan_seconds
+        assert report.reliability.availability < 1.0
+
+    def test_total_outage_restarts_and_completes(self):
+        fault_model = FaultModel(seed=5,
+                                 targeted_instance_failures=(0, 1))
+        report = ProSESystem(instances=2).simulate_with_faults(
+            TINY, batch=8, seq_len=64, fault_model=fault_model,
+            policy=DegradationPolicy(min_survivors=1))
+        assert report.reliability.failures == 2
+        assert report.reliability.availability < 1.0
+        assert report.energy_joules > report.fault_free_energy_joules
+
+
+class TestServingRetries:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return screening_campaign(library_size=32, seed=4)
+
+    def test_zero_rate_bit_identical(self, workload):
+        clean = CampaignSimulator(model_config=SERVING_CONFIG,
+                                  max_batch=8).run_on_prose(workload)
+        wrapped = CampaignSimulator(
+            model_config=SERVING_CONFIG, max_batch=8,
+            fault_model=FaultModel(seed=6)).run_on_prose(workload)
+        assert wrapped.total_seconds == clean.total_seconds
+        assert wrapped.total_energy_joules == clean.total_energy_joules
+        assert wrapped.sequences == clean.sequences
+        assert wrapped.reliability is None
+
+    def test_failures_retried_with_backoff(self, workload):
+        fault_model = FaultModel(FaultRates(batch_failure=0.5), seed=8)
+        report = CampaignSimulator(
+            model_config=SERVING_CONFIG, max_batch=8,
+            fault_model=fault_model,
+            retry_policy=RetryPolicy(max_retries=5)).run_on_prose(workload)
+        reliability = report.reliability
+        assert reliability is not None
+        assert reliability.retries > 0
+        assert reliability.availability < 1.0
+        assert reliability.wasted_seconds > 0.0
+        assert reliability.wasted_joules > 0.0
+        # Every sequence either completed or was dropped.
+        assert report.sequences + reliability.dropped == len(workload)
+
+    def test_straggler_killed_at_deadline(self, workload):
+        # Slowdown 10x with deadline 2x: stragglers are always killed
+        # and rerun rather than awaited.
+        fault_model = FaultModel(
+            FaultRates(straggler=0.5, straggler_slowdown=10.0), seed=9)
+        report = CampaignSimulator(
+            model_config=SERVING_CONFIG, max_batch=8,
+            fault_model=fault_model,
+            retry_policy=RetryPolicy(straggler_deadline_multiple=2.0)
+        ).run_on_prose(workload)
+        assert report.reliability.stragglers > 0
+        assert report.reliability.retries >= report.reliability.stragglers
+
+    def test_same_seed_identical_reports(self, workload):
+        def run():
+            fault_model = FaultModel(
+                FaultRates(batch_failure=0.3, straggler=0.2), seed=10)
+            return CampaignSimulator(
+                model_config=SERVING_CONFIG, max_batch=8,
+                fault_model=fault_model).run_on_prose(workload)
+
+        assert run().reliability == run().reliability
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_base_seconds=0.1,
+                             backoff_multiplier=2.0,
+                             backoff_cap_seconds=0.3)
+        assert policy.backoff_seconds(0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(1) == pytest.approx(0.2)
+        assert policy.backoff_seconds(2) == pytest.approx(0.3)
+        assert policy.backoff_seconds(10) == pytest.approx(0.3)
+
+
+class TestFaultCampaignExperiment:
+    def test_runs_and_formats(self):
+        from repro.experiments import fault_campaign
+
+        result = fault_campaign.run(fault_rates=(0.0, 0.2), seed=3,
+                                    library_size=16)
+        assert len(result.serving_reports) == 2
+        assert result.serving_reports[0].availability == 1.0
+        assert result.failure_scenario.reliability.availability < 1.0
+        text = fault_campaign.format_result(result)
+        assert "instance-failure scenario" in text
+        assert "fault rate" in text
+
+
+class TestSatelliteGuards:
+    def test_empty_campaign_report_returns_zero(self):
+        report = CampaignReport(platform="p", total_seconds=0.0,
+                                total_energy_joules=0.0, sequences=0,
+                                padded_tokens=0, useful_tokens=0)
+        assert report.throughput == 0.0
+        assert report.padding_waste == 0.0
+
+    def test_empty_workload_campaign(self):
+        empty = Workload(name="empty", items=())
+        report = CampaignSimulator(
+            model_config=SERVING_CONFIG).run_on_prose(empty)
+        assert report.sequences == 0
+        assert report.throughput == 0.0
+        assert report.padding_waste == 0.0
+
+    def test_engine_rejects_nonsense_arguments(self):
+        engine = ProSEEngine(model_config=TINY)
+        with pytest.raises(ValueError, match="batch"):
+            engine.simulate(batch=0)
+        with pytest.raises(ValueError, match="seq_len"):
+            engine.simulate(batch=4, seq_len=-1)
+        with pytest.raises(ValueError, match="threads"):
+            engine.simulate(batch=4, seq_len=64, threads=0)
+
+    def test_orchestrator_rejects_nonsense_arguments(self):
+        from repro.arch.config import best_perf
+        from repro.sched.orchestrator import Orchestrator
+
+        orchestrator = Orchestrator(best_perf())
+        with pytest.raises(ValueError, match="seq_len"):
+            orchestrator.run(TINY, batch=4, seq_len=0)
+        with pytest.raises(ValueError, match="threads"):
+            orchestrator.run(TINY, batch=4, seq_len=64, threads=-2)
+
+    def test_system_rejects_nonsense_seq_len(self):
+        with pytest.raises(ValueError, match="seq_len"):
+            ProSESystem(instances=2).simulate(TINY, batch=4, seq_len=0)
