@@ -17,8 +17,8 @@ import numpy as np
 
 from ..dataflow.patterns import ArrayType
 from ..model.bert import ProteinBert
-from ..model.tensors import to_bfloat16
 from ..reliability.faults import FaultModel, FaultStats
+from ..telemetry import MetricsRegistry, Tracer
 from .systolic import ExecutionStats, SimdOpcode, SimdStep, SystolicArray
 
 
@@ -33,12 +33,23 @@ class AcceleratedProteinBert:
             arrays — GEMM tiles get ABFT-checked bfloat16 bit flips, LUT
             evaluations get silent flips.  ``None`` keeps the datapath
             bit-identical to the fault-free model.
+        tracer: optional span tracer; :meth:`forward` then emits
+            wall-clock spans (pid ``functional``) per stage and per
+            encoder layer, each annotated with the systolic GEMM tile
+            count, MAC, and streamed-byte deltas it contributed.
+        metrics: optional registry accumulating tile/cycle/byte
+            counters across forward passes.  Numerics are unaffected
+            by either.
     """
 
     def __init__(self, model: ProteinBert, array_size: int = 16,
-                 fault_model: Optional[FaultModel] = None) -> None:
+                 fault_model: Optional[FaultModel] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.model = model
         self.fault_model = fault_model
+        self.tracer = tracer
+        self.metrics = metrics
         self.m_array = SystolicArray(array_size, ArrayType.M,
                                      fault_model=fault_model)
         self.g_array = SystolicArray(array_size, ArrayType.G,
@@ -53,6 +64,28 @@ class AcceleratedProteinBert:
         if self.fault_model is None:
             return FaultStats()
         return self.fault_model.stats
+
+    # -- telemetry helpers ----------------------------------------------
+
+    def _snapshot(self) -> Tuple[int, int, int, int, int]:
+        stats = self.stats
+        return (stats.tiles, stats.matmul_cycles, stats.simd_cycles,
+                stats.streamed_bytes, stats.mac_operations)
+
+    def _emit(self, name: str, t0: float,
+              before: Tuple[int, int, int, int, int],
+              **extra: object) -> None:
+        """Close a wall-clock span annotated with tile/byte deltas."""
+        assert self.tracer is not None
+        after = self._snapshot()
+        self.tracer.add_span(
+            name, t0, self.tracer.now(), pid="functional", tid="model",
+            category="functional", clock="wall",
+            tiles=after[0] - before[0],
+            matmul_cycles=after[1] - before[1],
+            simd_cycles=after[2] - before[2],
+            streamed_bytes=after[3] - before[3],
+            mac_operations=after[4] - before[4], **extra)
 
     # -- Dataflow 1: MatMul -> MulAdd on the M-Type array ---------------
 
@@ -103,10 +136,23 @@ class AcceleratedProteinBert:
         batch, seq = token_ids.shape
         heads, head_dim = cfg.num_heads, cfg.head_dim
 
+        tracer = self.tracer
+        active = tracer is not None or self.metrics is not None
+        run_t0 = tracer.now() if tracer is not None else 0.0
+        run_snapshot = self._snapshot() if active else None
+
         # Embeddings and layer norms are host-side ("Other") work.
         hidden = model.embed(token_ids)
+        if tracer is not None:
+            tracer.add_span("embed", run_t0, tracer.now(),
+                            pid="functional", tid="model",
+                            category="functional", clock="wall",
+                            batch=batch, seq_len=seq)
 
-        for layer in model.layers:
+        for layer_index, layer in enumerate(model.layers):
+            if tracer is not None:
+                layer_t0 = tracer.now()
+                layer_snapshot = self._snapshot()
             flat = hidden.reshape(batch * seq, cfg.hidden_size)
             attention = layer.attention
             q = self._dataflow1(flat, attention.query.weight,
@@ -150,6 +196,23 @@ class AcceleratedProteinBert:
                                         layer.output.bias, residual=flat)
             hidden = layer.output_norm.forward(
                 projected.reshape(batch, seq, cfg.hidden_size))
+            if tracer is not None:
+                self._emit(f"encoder_layer[{layer_index}]", layer_t0,
+                           layer_snapshot, layer=layer_index)
+        if tracer is not None and run_snapshot is not None:
+            self._emit("forward", run_t0, run_snapshot,
+                       batch=batch, seq_len=seq,
+                       layers=len(model.layers))
+        if self.metrics is not None and run_snapshot is not None:
+            final = self._snapshot()
+            self.metrics.counter("functional/forward_passes").inc(1)
+            self.metrics.counter("functional/tokens").inc(batch * seq)
+            for field, before, value in zip(
+                    ("tiles", "matmul_cycles", "simd_cycles",
+                     "streamed_bytes", "mac_operations"),
+                    run_snapshot, final):
+                self.metrics.counter(f"functional/{field}").inc(
+                    value - before)
         return hidden
 
     def fidelity(self, token_ids: np.ndarray,

@@ -12,9 +12,8 @@ computed and compared for any operand shape.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 
 class StepKind(enum.Enum):

@@ -11,7 +11,7 @@ Only use this for small arrays/tests; it is intentionally literal and slow.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 import numpy as np
 

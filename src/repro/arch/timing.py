@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..dataflow.patterns import Dataflow, DataflowKind
 from ..trace.ops import Op, OpKind

@@ -15,7 +15,6 @@ published ProSE:A100 speedup ratio (DESIGN.md, "Calibration targets").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 from .roofline import DeviceSpec, RooflineDevice, saturating

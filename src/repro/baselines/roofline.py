@@ -80,9 +80,8 @@ class RooflineDevice:
         if op.kind in (OpKind.MATMUL, OpKind.BMM):
             if op.kind is OpKind.MATMUL:
                 m, k, n = op.shape
-                batch = 1
             else:
-                batch, m, k, n = op.shape
+                _batch, m, k, n = op.shape
             utilization = spec.matmul_utilization(m, k, n)
             effective = (spec.peak_matmul_flops * spec.matmul_efficiency
                          * utilization)

@@ -8,7 +8,7 @@
     python -m repro.cli embed MEYQKLVIV ACDEFGHIK
     python -m repro.cli zoo
     python -m repro.cli reliability --fault-rate 0.05 --seed 7
-    python -m repro.cli reliability --sweep
+    python -m repro.cli trace --seq-len 128 --batch 8 --out trace.json
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .arch.config import HardwareConfig, table4_configs
 from .core.engine import ProSEEngine
 from .core.session import InferenceSession
@@ -148,10 +149,98 @@ def cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .model.config import protein_bert_base, protein_bert_tiny
+    from .telemetry import (
+        MetricsRegistry,
+        Tracer,
+        render_tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_metrics_csv,
+        write_metrics_jsonl,
+    )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    hardware = _hardware_by_name(args.hardware)
+    config = protein_bert_base()
+    workloads = (("schedule", "system", "serving", "functional")
+                 if args.workload == "all" else (args.workload,))
+
+    if "schedule" in workloads:
+        from .sched.orchestrator import Orchestrator
+
+        result = Orchestrator(hardware).run(
+            config, batch=args.batch, seq_len=args.seq_len,
+            threads=args.threads, tracer=tracer, metrics=metrics,
+            trace_pid="schedule")
+        print(f"schedule: makespan {result.makespan_seconds * 1e3:.3f} ms, "
+              f"bottleneck {result.bottleneck}")
+    if "system" in workloads:
+        from .system.multi import ProSESystem
+
+        system = ProSESystem(hardware=hardware, instances=args.instances)
+        report = system.simulate(
+            config, batch=max(args.batch, args.instances),
+            seq_len=args.seq_len, tracer=tracer, metrics=metrics)
+        print(f"system: {report.instances} instances, "
+              f"{report.throughput:.1f} inf/s")
+    if "serving" in workloads:
+        from .proteins.workloads import uniprot_like_workload
+        from .system.serving import CampaignSimulator
+
+        simulator = CampaignSimulator(model_config=config,
+                                      hardware=hardware,
+                                      max_batch=max(args.batch, 1))
+        campaign = simulator.run_on_prose(
+            uniprot_like_workload(count=args.sequences, seed=args.seed),
+            tracer=tracer, metrics=metrics)
+        print(f"serving: {campaign.sequences} sequences in "
+              f"{campaign.total_seconds:.3f} s")
+    if "functional" in workloads:
+        import numpy as np
+
+        from .arch.accelerated_model import AcceleratedProteinBert
+        from .model.bert import ProteinBert
+
+        tiny = protein_bert_tiny(num_layers=2, hidden_size=64,
+                                 num_heads=4, intermediate_size=128)
+        accelerated = AcceleratedProteinBert(
+            ProteinBert(tiny, seed=args.seed), tracer=tracer,
+            metrics=metrics)
+        rng = np.random.default_rng(args.seed)
+        tokens = rng.integers(0, tiny.vocab_size,
+                              size=(2, min(args.seq_len, 32)))
+        accelerated.forward(tokens)
+        tiles = metrics.get("functional/tiles")
+        print(f"functional: {int(tiles.value)} GEMM tiles")
+
+    data = write_chrome_trace(
+        tracer, args.out,
+        metadata={"tool": "repro.cli trace", "version": __version__,
+                  "workloads": list(workloads), "batch": args.batch,
+                  "seq_len": args.seq_len})
+    counts = validate_chrome_trace(data)
+    write_metrics_csv(metrics, args.metrics_csv)
+    write_metrics_jsonl(metrics, args.metrics_jsonl)
+    print(f"trace: {counts['spans']} spans, {counts['instants']} instants, "
+          f"{counts['processes']} processes -> {args.out} "
+          f"(open at https://ui.perfetto.dev)")
+    print(f"metrics: {len(metrics)} series -> {args.metrics_csv}, "
+          f"{args.metrics_jsonl}")
+    if args.ascii:
+        print()
+        print(render_tracer(tracer, width=args.width))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ProSE (ASPLOS 2022) reproduction CLI")
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=False)
 
     simulate = sub.add_parser("simulate",
                               help="cycle-level ProSE simulation")
@@ -207,12 +296,59 @@ def build_parser() -> argparse.ArgumentParser:
                              help="sweep fault rates and print the "
                                   "availability/goodput curve")
     reliability.set_defaults(handler=cmd_reliability)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented workload; write a Perfetto trace "
+             "and a metrics dump")
+    trace.add_argument("--workload", default="schedule",
+                       choices=["schedule", "system", "serving",
+                                "functional", "all"],
+                       help="which instrumented path to trace")
+    trace.add_argument("--hardware", default="BestPerf")
+    trace.add_argument("--batch", type=int, default=8)
+    trace.add_argument("--seq-len", type=int, default=128)
+    trace.add_argument("--threads", type=int, default=None)
+    trace.add_argument("--instances", type=int, default=4,
+                       help="instances for the system workload")
+    trace.add_argument("--sequences", type=int, default=32,
+                       help="library size for the serving workload")
+    trace.add_argument("--seed", type=int, default=2022)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace JSON output path")
+    trace.add_argument("--metrics-csv", default="metrics.csv")
+    trace.add_argument("--metrics-jsonl", default="metrics.jsonl")
+    trace.add_argument("--ascii", action="store_true",
+                       help="also print an ASCII timeline")
+    trace.add_argument("--width", type=int, default=100,
+                       help="ASCII timeline width")
+    trace.set_defaults(handler=cmd_trace)
     return parser
+
+
+def _print_overview(parser: argparse.ArgumentParser) -> None:
+    """Subcommand list with one-line descriptions (no-args invocation)."""
+    print(f"{parser.prog} {__version__} — {parser.description}")
+    print()
+    print("subcommands:")
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction))
+    for choice in subparsers.choices:
+        help_text = next(
+            (pseudo.help for pseudo in subparsers._choices_actions
+             if pseudo.dest == choice), "")
+        print(f"  {choice:<12s} {help_text}")
+    print()
+    print(f"run '{parser.prog} <subcommand> --help' for options")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        _print_overview(parser)
+        return 0
     return args.handler(args)
 
 

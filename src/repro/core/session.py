@@ -22,7 +22,7 @@ import numpy as np
 from ..arch.accelerated_model import AcceleratedProteinBert
 from ..arch.config import HardwareConfig, best_perf
 from ..model.bert import ProteinBert
-from ..model.config import BertConfig, protein_bert_tiny
+from ..model.config import BertConfig
 from ..model.weights import pretrained_like_weights
 from ..physical.power import power_report
 from ..proteins.tokenizer import ProteinTokenizer

@@ -11,7 +11,7 @@ registry and reports per-task transfer quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..binding.features import FeatureExtractor
 from ..binding.metrics import pearson, spearman

@@ -12,7 +12,7 @@ usable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines.gpu import a100
 from ..baselines.roofline import best_batch_for_length

@@ -15,13 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..arch.lut import (
-    EXP_EXPONENT_WINDOW,
-    GELU_EXPONENT_WINDOW,
-    SpecialFunctionLut,
-    make_exp_lut,
-    make_gelu_lut,
-)
+from ..arch.lut import SpecialFunctionLut, make_exp_lut, make_gelu_lut
 from ..model.activations import exp as exp_reference
 from ..model.activations import gelu as gelu_reference
 

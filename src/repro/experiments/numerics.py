@@ -17,7 +17,7 @@ study."  This study validates both end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

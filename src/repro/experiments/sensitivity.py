@@ -11,7 +11,7 @@ and reports how the BestPerf speedup over the A100 moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..arch.config import best_perf
 from ..arch.interconnect import enumerate_partitions

@@ -11,7 +11,7 @@ per-ALU LUT deltas plus a linear-in-n input-buffer term.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ tokens, using the paper's per-length throughput-optimal batch sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines.gpu import a100
 from ..baselines.roofline import RooflineDevice, best_batch_for_length

@@ -12,7 +12,7 @@ device-resident footprint at all beyond its accumulators and buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..arch.config import HardwareConfig, best_perf
 from ..model.config import BertConfig, protein_bert_base

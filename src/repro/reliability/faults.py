@@ -21,7 +21,7 @@ with nonlinear functions), so LUT flips are always silent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

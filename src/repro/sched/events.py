@@ -108,9 +108,16 @@ class Pool:
 
     def reserve(self, earliest: float, duration: float) -> Tuple[float, float]:
         """Reserve on the server that can start the earliest."""
+        start, end, _name = self.reserve_named(earliest, duration)
+        return start, end
+
+    def reserve_named(self, earliest: float,
+                      duration: float) -> Tuple[float, float, str]:
+        """Like :meth:`reserve`, also naming the server that was picked."""
         best = min(self.servers,
                    key=lambda server: server.next_fit(earliest, duration))
-        return best.reserve(earliest, duration)
+        start, end = best.reserve(earliest, duration)
+        return start, end, best.name
 
     @property
     def busy_seconds(self) -> float:

@@ -15,7 +15,6 @@ sweet spot.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +25,7 @@ from ..dataflow.builder import build_graph_for
 from ..dataflow.graph import DataflowGraph, HostTask
 from ..dataflow.patterns import ArrayType, Dataflow
 from ..model.config import BertConfig
+from ..telemetry import MetricsRegistry, Tracer
 from .events import Pool, Timeline, common_start
 from .host import HostModel
 
@@ -89,15 +89,26 @@ class ScheduleResult:
         """Batch latency (the makespan)."""
         return self.makespan_seconds
 
+    #: Tie-break priority of resource classes in :attr:`bottleneck`.
+    BOTTLENECK_PRIORITY = ("array", "link", "host")
+
     @property
     def bottleneck(self) -> str:
-        """Which resource class limits this schedule."""
-        candidates = {"host": self.host_utilization}
+        """Which resource class limits this schedule.
+
+        Exact utilization ties are broken deterministically: by resource
+        class (array > link > host), then alphabetically within a class.
+        """
+        rank = {cls: i for i, cls in enumerate(self.BOTTLENECK_PRIORITY)}
+        candidates = [("host", self.host_utilization)]
         for array_type, value in self.array_utilization.items():
-            candidates[f"array:{array_type.value}"] = value
+            candidates.append((f"array:{array_type.value}", value))
         for array_type, value in self.channel_utilization.items():
-            candidates[f"link:{array_type.value}"] = value
-        return max(candidates, key=candidates.get)
+            candidates.append((f"link:{array_type.value}", value))
+        return min(candidates,
+                   key=lambda item: (-item[1],
+                                     rank[item[0].split(":")[0]],
+                                     item[0]))[0]
 
     @property
     def compute_bound(self) -> bool:
@@ -141,7 +152,11 @@ class Orchestrator:
     def run(self, config: BertConfig, batch: int, seq_len: int,
             threads: Optional[int] = None,
             record_tasks: bool = False,
-            graph_builder=None) -> ScheduleResult:
+            graph_builder=None,
+            tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None,
+            trace_pid: str = "instance0",
+            trace_offset: float = 0.0) -> ScheduleResult:
         """Simulate one batched inference.
 
         Args:
@@ -154,6 +169,19 @@ class Orchestrator:
                 overriding the default encoder graph — e.g. the
                 encoder-decoder graph of
                 :func:`repro.dataflow.seq2seq.build_seq2seq_graph`.
+            tracer: optional span tracer.  When given, every task gets a
+                span on its thread track and every Timeline reservation
+                (array segment, link-channel hold, host slot) gets a
+                span on its resource track; ``None`` keeps the schedule
+                bit-identical with near-zero overhead.
+            metrics: optional registry accumulating dispatch counters,
+                byte counters, per-task latency histograms, and final
+                occupancy gauges.
+            trace_pid: Perfetto process label for emitted spans (the
+                multi-instance system passes ``instanceN``).
+            trace_offset: seconds added to every emitted timestamp, so
+                a run can be placed on an enclosing clock (recovery
+                shards, campaign batches).
 
         Returns:
             A :class:`ScheduleResult` with makespan and utilizations.
@@ -222,13 +250,21 @@ class Orchestrator:
                 clocks[thread_index])
             if isinstance(node, HostTask):
                 duration = self.host.task_seconds(node.ops)
-                start, end = host_pool.reserve(actual_ready, duration)
+                start, end, server = host_pool.reserve_named(
+                    actual_ready, duration)
                 resource_label = "host"
                 kind_label = "host"
+                if tracer is not None:
+                    tracer.add_span(
+                        node.name, trace_offset + start, trace_offset + end,
+                        pid=trace_pid, tid=server, category="host",
+                        ops=len(node.ops), flops=node.flops)
             else:
                 start, end, resource_label = self._schedule_dataflow(
                     node, actual_ready, sub, node_index, arrays, channels,
-                    host_pool, timing_cache, per_dispatch)
+                    host_pool, timing_cache, per_dispatch,
+                    tracer=tracer, trace_pid=trace_pid,
+                    trace_offset=trace_offset)
                 kind_label = node.kind.value
                 timing = timing_cache[(sub, node_index, self._last_size)]
                 total_bytes += timing.total_stream_bytes
@@ -244,6 +280,15 @@ class Orchestrator:
                     thread=thread_index, name=node.name, kind=kind_label,
                     ready=actual_ready, start=start, end=end,
                     resource=resource_label))
+            if tracer is not None:
+                tracer.add_span(
+                    node.name, trace_offset + start, trace_offset + end,
+                    pid=trace_pid, tid=f"thread{thread_index:02d}",
+                    category="task", kind=kind_label,
+                    resource=resource_label, sub_batch=sub,
+                    ready=actual_ready, node=node_index)
+            if metrics is not None:
+                metrics.histogram("sched/task_seconds").observe(end - start)
             finish[node_index] = end
             clocks[thread_index] = end
             makespan = max(makespan, end)
@@ -262,6 +307,34 @@ class Orchestrator:
                                       if members and makespan > 0 else 0.0)
         channel_util = {t: channels[t].utilization(makespan)
                         for t in ArrayType}
+        if tracer is not None:
+            tracer.add_span(
+                "orchestrator.run", trace_offset, trace_offset + makespan,
+                pid=trace_pid, tid="schedule", category="run",
+                batch=batch, seq_len=seq_len, threads=thread_count,
+                policy=self.policy, dispatches=total_dispatches,
+                stream_bytes=total_bytes)
+        if metrics is not None:
+            reservations = (
+                sum(t.reservations for ms in arrays.values() for t, _ in ms)
+                + sum(t.reservations for t in channels.values())
+                + sum(s.reservations for s in host_pool.servers))
+            metrics.counter("sched/reservations").inc(reservations)
+            metrics.counter("sched/dispatches").inc(total_dispatches)
+            metrics.counter("sched/stream_bytes").inc(total_bytes)
+            metrics.counter("sched/contention_seconds").inc(
+                contention_seconds)
+            metrics.counter("sched/inferences").inc(batch)
+            metrics.gauge("sched/makespan_seconds").set(makespan)
+            metrics.gauge("sched/host_utilization").set(
+                host_pool.utilization(makespan))
+            for array_type in ArrayType:
+                metrics.gauge(
+                    f"sched/array_occupancy/{array_type.value}").set(
+                        array_util[array_type])
+                metrics.gauge(
+                    f"sched/link_utilization/{array_type.value}").set(
+                        channel_util[array_type])
         return ScheduleResult(
             makespan_seconds=makespan,
             batch=batch,
@@ -284,8 +357,17 @@ class Orchestrator:
                            channels: Dict[ArrayType, Timeline],
                            host_pool: Pool,
                            cache: Dict[Tuple[int, int, int], DataflowTiming],
-                           per_dispatch: float) -> Tuple[float, float, str]:
+                           per_dispatch: float,
+                           tracer: Optional[Tracer] = None,
+                           trace_pid: str = "instance0",
+                           trace_offset: float = 0.0
+                           ) -> Tuple[float, float, str]:
         """Place one dataflow's segments.
+
+        When tracing, every reservation this placement makes becomes one
+        span: array holds on the array's track (category ``exec``),
+        channel holds on the link track (``stream``), host-side segments
+        on the chosen host slot's track (``host``).
 
         Returns:
             (start, end, resource label) of the placed dataflow.
@@ -309,9 +391,16 @@ class Orchestrator:
 
         clock = ready
         first_start: Optional[float] = None
-        for segment in timing.segments:
+        for segment_index, segment in enumerate(timing.segments):
             if segment.resource == "host":
-                _, clock = host_pool.reserve(clock, segment.compute_seconds)
+                seg_start, clock, server = host_pool.reserve_named(
+                    clock, segment.compute_seconds)
+                if tracer is not None:
+                    tracer.add_span(
+                        f"{dataflow.name}:host{segment_index}",
+                        trace_offset + seg_start, trace_offset + clock,
+                        pid=trace_pid, tid=server, category="host",
+                        sub_batch=sub, node=node_index)
                 continue
             stream_seconds = (segment.stream_bytes / bandwidth
                               if bandwidth > 0 else 0.0)
@@ -327,6 +416,20 @@ class Orchestrator:
                                          (timeline, duration)])
             channel.reserve_at(start, channel_hold)
             _, clock = timeline.reserve_at(start, duration)
+            if tracer is not None:
+                tracer.add_span(
+                    f"{dataflow.name}:xfer{segment_index}",
+                    trace_offset + start,
+                    trace_offset + start + channel_hold,
+                    pid=trace_pid, tid=channel.name, category="stream",
+                    bytes=segment.stream_bytes, sub_batch=sub,
+                    node=node_index)
+                tracer.add_span(
+                    f"{dataflow.name}:seg{segment_index}",
+                    trace_offset + start, trace_offset + clock,
+                    pid=trace_pid, tid=timeline.name, category="exec",
+                    compute_seconds=segment.compute_seconds,
+                    array_size=size, sub_batch=sub, node=node_index)
             if first_start is None:
                 first_start = start
         return (first_start if first_start is not None else ready, clock,

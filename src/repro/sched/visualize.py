@@ -3,13 +3,18 @@
 Turns a :class:`~repro.sched.orchestrator.TaskRecord` log into a per-
 resource Gantt chart, so the thread-interleaving behaviour the paper
 illustrates in Figure 8 can be inspected directly from a simulation.
+
+The interval drawing itself lives in :mod:`repro.telemetry.render`
+(shared with the ``trace`` CLI); this module only maps task records to
+glyph intervals and keeps the legend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .orchestrator import ScheduleResult, TaskRecord
+from ..telemetry.render import Interval, render_tracks
+from .orchestrator import ScheduleResult
 
 #: Glyph per task kind in the Gantt rows.
 KIND_GLYPHS: Dict[str, str] = {
@@ -18,13 +23,6 @@ KIND_GLYPHS: Dict[str, str] = {
     "dataflow3": "3",
     "host": "h",
 }
-
-
-def _bucket(records: Iterable[TaskRecord]) -> Dict[str, List[TaskRecord]]:
-    rows: Dict[str, List[TaskRecord]] = {}
-    for record in records:
-        rows.setdefault(record.resource, []).append(record)
-    return rows
 
 
 def render_gantt(result: ScheduleResult, width: int = 100,
@@ -42,27 +40,16 @@ def render_gantt(result: ScheduleResult, width: int = 100,
     """
     if result.task_log is None:
         raise ValueError("schedule was run without record_tasks=True")
-    makespan = result.makespan_seconds
-    rows = _bucket(result.task_log)
-    names = sorted(rows)
-    if max_rows is not None:
-        names = names[:max_rows]
-
-    lines: List[str] = []
-    label_width = max((len(name) for name in names), default=8)
-    for name in names:
-        cells = ["."] * width
-        for record in rows[name]:
-            start = int(record.start / makespan * (width - 1))
-            end = max(start, int(record.end / makespan * (width - 1)))
-            glyph = KIND_GLYPHS.get(record.kind, "?")
-            for position in range(start, end + 1):
-                cells[position] = glyph
-        lines.append(f"{name:>{label_width}s} |{''.join(cells)}|")
-    lines.append(f"{'':>{label_width}s}  0{'':{width - 10}s}"
-                 f"{makespan * 1e3:8.2f}ms")
-    lines.append("legend: 1/2/3 = Dataflow 1/2/3, h = host task, . = idle")
-    return "\n".join(lines)
+    tracks: Dict[str, List[Interval]] = {}
+    for record in result.task_log:
+        tracks.setdefault(record.resource, []).append(
+            (record.start, record.end,
+             KIND_GLYPHS.get(record.kind, "?")))
+    ordered = {name: tracks[name] for name in sorted(tracks)}
+    chart = render_tracks(ordered, makespan=result.makespan_seconds,
+                          width=width, max_rows=max_rows)
+    return (chart
+            + "\nlegend: 1/2/3 = Dataflow 1/2/3, h = host task, . = idle")
 
 
 def thread_timeline(result: ScheduleResult, thread: int

@@ -13,7 +13,7 @@ the accelerators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..arch.config import HardwareConfig, best_perf
@@ -25,6 +25,7 @@ from ..reliability.policy import DegradationPolicy
 from ..reliability.report import ReliabilityReport
 from ..sched.host import HOST_POWER_WATTS, HostModel
 from ..sched.orchestrator import Orchestrator, ScheduleResult
+from ..telemetry import MetricsRegistry, Tracer
 
 #: Instances per system in the paper's envisioned deployment.
 DEFAULT_INSTANCES = 4
@@ -141,8 +142,23 @@ class ProSESystem:
             flops_throughput=base_host.flops_throughput)
 
     def simulate(self, config: Optional[BertConfig] = None,
-                 batch: int = 512, seq_len: int = 512) -> SystemReport:
-        """Shard ``batch`` across instances and simulate each shard."""
+                 batch: int = 512, seq_len: int = 512,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> SystemReport:
+        """Shard ``batch`` across instances and simulate each shard.
+
+        Args:
+            config: the Protein BERT model (default: BERT-base).
+            batch: total inferences, sharded across instances.
+            seq_len: tokens per inference.
+            tracer: optional span tracer; each instance's schedule is
+                emitted under its own ``instanceN`` process, with one
+                ``shard`` overview span per instance.
+            metrics: optional registry; per-instance scheduler metrics
+                merge in twice — under an ``instanceN/`` prefix and
+                unprefixed (aggregated) — plus a per-shard makespan
+                histogram.  ``None`` keeps the report bit-identical.
+        """
         config = config or protein_bert_base()
         if seq_len <= 0:
             raise ValueError(f"seq_len must be positive, got {seq_len}")
@@ -153,9 +169,25 @@ class ProSESystem:
                   for i in range(self.instances)]
         orchestrator = Orchestrator(self.hardware, host=self._shard_host)
         results: List[ScheduleResult] = []
-        for shard in shards:
-            results.append(orchestrator.run(config, batch=shard,
-                                            seq_len=seq_len))
+        for index, shard in enumerate(shards):
+            pid = f"instance{index}"
+            shard_metrics = (MetricsRegistry(name=pid)
+                             if metrics is not None else None)
+            result = orchestrator.run(config, batch=shard, seq_len=seq_len,
+                                      tracer=tracer, metrics=shard_metrics,
+                                      trace_pid=pid)
+            results.append(result)
+            if tracer is not None:
+                tracer.add_span(
+                    "shard", 0.0, result.makespan_seconds, pid=pid,
+                    tid="system", category="shard", instance=index,
+                    batch=shard, seq_len=seq_len,
+                    bottleneck=result.bottleneck)
+            if metrics is not None and shard_metrics is not None:
+                metrics.merge(shard_metrics, prefix=pid)
+                metrics.merge(shard_metrics)
+                metrics.histogram("system/shard_makespan_seconds").observe(
+                    result.makespan_seconds)
         accel_power = (power_report(self.hardware).accelerator_power_w
                        * self.instances)
         return SystemReport(instances=self.instances,
@@ -165,7 +197,9 @@ class ProSESystem:
     def simulate_with_faults(self, config: Optional[BertConfig] = None,
                              batch: int = 512, seq_len: int = 512,
                              fault_model: Optional[FaultModel] = None,
-                             policy: Optional[DegradationPolicy] = None
+                             policy: Optional[DegradationPolicy] = None,
+                             tracer: Optional[Tracer] = None,
+                             metrics: Optional[MetricsRegistry] = None
                              ) -> ReliableSystemReport:
         """Simulate under injected faults with degradation-aware recovery.
 
@@ -190,7 +224,8 @@ class ProSESystem:
         config = config or protein_bert_base()
         policy = policy or DegradationPolicy()
         fault_model = fault_model or FaultModel()
-        base = self.simulate(config, batch=batch, seq_len=seq_len)
+        base = self.simulate(config, batch=batch, seq_len=seq_len,
+                             tracer=tracer, metrics=metrics)
         accel_each = power_report(self.hardware).accelerator_power_w
         base_makespan = base.makespan_seconds
         fault_free_energy = base_makespan * (
@@ -200,7 +235,7 @@ class ProSESystem:
         completions: List[float] = []
         retries = 0
         wasted = 0.0
-        for result in base.per_instance:
+        for index, result in enumerate(base.per_instance):
             errors = fault_model.link_transients(result.total_dispatches)
             completion = result.makespan_seconds
             if errors:
@@ -213,6 +248,12 @@ class ProSESystem:
                 retries += errors
                 wasted += errors * per_retry
                 completion += errors * per_retry
+                if tracer is not None:
+                    tracer.instant(
+                        "link_retransmissions", result.makespan_seconds,
+                        pid=f"instance{index}", tid="system",
+                        category="fault", errors=errors,
+                        added_seconds=errors * per_retry)
             completions.append(completion)
 
         failed = fault_model.failed_instances(self.instances)
@@ -234,8 +275,18 @@ class ProSESystem:
                 wasted += fail_at
                 active_seconds[index] = fail_at
                 lost += base.per_instance[index].batch
+                if tracer is not None:
+                    tracer.instant(
+                        "instance_failure", fail_at,
+                        pid=f"instance{index}", tid="system",
+                        category="fault",
+                        lost_batch=base.per_instance[index].batch)
             detect_at = max(fail_times) + policy.detection_seconds(
                 max(completions[index] for index in failed))
+            if tracer is not None:
+                tracer.instant("failure_detected", detect_at,
+                               pid="system", tid="events",
+                               category="fault", failed=len(failed))
             surviving = [i for i in range(self.instances)
                          if i not in failed]
             share, extra = divmod(lost, len(surviving))
@@ -248,10 +299,25 @@ class ProSESystem:
                 if extra_batch > 0:
                     resume_at = max(completions[index], detect_at)
                     wasted += max(detect_at - completions[index], 0.0)
+                    pid = f"instance{index}"
+                    recovery_metrics = (
+                        MetricsRegistry(name=f"{pid}/recovery")
+                        if metrics is not None else None)
                     extra_result = orchestrator.run(
-                        config, batch=extra_batch, seq_len=seq_len)
+                        config, batch=extra_batch, seq_len=seq_len,
+                        tracer=tracer, metrics=recovery_metrics,
+                        trace_pid=pid, trace_offset=resume_at)
                     recovery.append(extra_result)
                     finish = resume_at + extra_result.makespan_seconds
+                    if tracer is not None:
+                        tracer.add_span(
+                            "recovery_shard", resume_at, finish, pid=pid,
+                            tid="recovery", category="recovery",
+                            extra_batch=extra_batch)
+                    if metrics is not None and recovery_metrics is not None:
+                        metrics.merge(recovery_metrics,
+                                      prefix=f"{pid}/recovery")
+                        metrics.merge(recovery_metrics)
                 active_seconds[index] = finish
                 makespan = max(makespan, finish)
             total_makespan = makespan
@@ -265,6 +331,12 @@ class ProSESystem:
                            * completions[index])
                 fail_times.append(fail_at)
                 wasted += fail_at
+                if tracer is not None:
+                    tracer.instant(
+                        "instance_failure", fail_at,
+                        pid=f"instance{index}", tid="system",
+                        category="fault",
+                        lost_batch=base.per_instance[index].batch)
             detect_at = max(fail_times) + policy.detection_seconds(
                 max(completions))
             total_makespan = detect_at + max(completions)
@@ -273,6 +345,17 @@ class ProSESystem:
             recovery = list(base.per_instance)
             retries += self.instances
             survivors = self.instances  # restarted
+            if tracer is not None:
+                tracer.instant("outage_restart", detect_at, pid="system",
+                               tid="events", category="fault",
+                               failed=self.instances)
+                for index in range(self.instances):
+                    tracer.add_span(
+                        "outage_rerun", detect_at,
+                        detect_at + completions[index],
+                        pid=f"instance{index}", tid="recovery",
+                        category="recovery",
+                        batch=base.per_instance[index].batch)
         else:
             total_makespan = max(completions)
 
@@ -286,6 +369,18 @@ class ProSESystem:
                                        + HOST_POWER_WATTS)
 
         stats = fault_model.stats
+        if metrics is not None:
+            metrics.counter("reliability/retries").inc(retries)
+            metrics.counter("reliability/instance_failures").inc(failures)
+            metrics.counter("reliability/wasted_seconds").inc(wasted)
+            metrics.counter("reliability/abft_detections").inc(
+                stats.detected)
+            metrics.counter("reliability/faults_injected").inc(
+                stats.injected)
+            metrics.counter("reliability/faults_silent").inc(stats.silent)
+            metrics.gauge("reliability/availability").set(
+                base_makespan / total_makespan)
+            metrics.gauge("reliability/goodput").set(batch / total_makespan)
         reliability = ReliabilityReport(
             availability=base_makespan / total_makespan,
             goodput=batch / total_makespan,

@@ -22,6 +22,7 @@ from ..reliability.faults import FaultModel
 from ..reliability.policy import RetryPolicy
 from ..reliability.report import ReliabilityReport
 from ..sched.orchestrator import Orchestrator
+from ..telemetry import MetricsRegistry, Tracer
 
 #: Default padding buckets (token lengths after the 2 special tokens).
 DEFAULT_BUCKETS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
@@ -101,7 +102,10 @@ class CampaignSimulator:
         return bucket_batches(workload, self.buckets,
                               max_batch=self.max_batch)
 
-    def run_on_prose(self, workload: Workload) -> CampaignReport:
+    def run_on_prose(self, workload: Workload,
+                     tracer: Optional[Tracer] = None,
+                     metrics: Optional[MetricsRegistry] = None
+                     ) -> CampaignReport:
         """Simulate the campaign on the configured ProSE instance.
 
         Without an active fault model batches run back-to-back exactly
@@ -112,6 +116,16 @@ class CampaignSimulator:
         attempts, backoff waits, and straggler overruns are charged to
         the campaign clock and reported in the attached
         :class:`~repro.reliability.ReliabilityReport`.
+
+        Args:
+            workload: the sequence library to score.
+            tracer: optional span tracer.  Each padded batch becomes a
+                span on its bucket's track (pid ``serving``), with one
+                child span per attempt/backoff and instant events for
+                retries, straggler kills, and drops.
+            metrics: optional registry accumulating the serving-latency
+                histogram (p50/p95/p99 in the dump), sequence/token
+                counters, and retry/straggler/drop counters.
         """
         total_seconds = 0.0
         useful_seconds = 0.0
@@ -121,30 +135,62 @@ class CampaignSimulator:
         retries = stragglers = failures = dropped = 0
         faulty = self.fault_model is not None and self.fault_model.active
         policy = self.retry_policy
-        for length, batch in self._batches(workload):
+        for index, (length, batch) in enumerate(self._batches(workload)):
             schedule = self._orchestrator.run(self.model_config,
                                               batch=batch,
                                               seq_len=length)
             nominal = schedule.makespan_seconds
             padded_tokens += length * batch
+            batch_start = total_seconds
+            batch_name = f"batch{index}[len={length} n={batch}]"
+            tid = f"bucket{length:05d}"
+
+            def _attempt_span(start: float, end: float, category: str,
+                              **args: object) -> None:
+                if tracer is not None:
+                    tracer.add_span(batch_name, start, end, pid="serving",
+                                    tid=tid, category=category,
+                                    seq_len=length, batch=batch, **args)
+
             if not faulty:
                 total_seconds += nominal
                 useful_seconds += nominal
                 completed += batch
+                _attempt_span(batch_start, total_seconds, "attempt")
+                _attempt_span(batch_start, total_seconds, "batch",
+                              outcome="ok", attempts=1)
+                if metrics is not None:
+                    metrics.histogram(
+                        "serving/batch_latency_seconds").observe(nominal)
                 continue
             attempt = 0
+            outcome = "ok"
             while True:
                 event = self.fault_model.batch_event()
                 if event == "fail":
                     failures += 1
                     partial = (self.fault_model.attempt_fraction()
                                * nominal)
+                    _attempt_span(total_seconds, total_seconds + partial,
+                                  "failed", attempt=attempt)
                     total_seconds += partial
                     wasted_seconds += partial
                     if attempt >= policy.max_retries:
                         dropped += batch
+                        outcome = "dropped"
+                        if tracer is not None:
+                            tracer.instant(
+                                "batch_dropped", total_seconds,
+                                pid="serving", tid=tid, category="fault",
+                                batch=batch, attempts=attempt + 1)
                         break
                     backoff = policy.backoff_seconds(attempt)
+                    _attempt_span(total_seconds, total_seconds + backoff,
+                                  "backoff", attempt=attempt)
+                    if tracer is not None:
+                        tracer.instant("retry", total_seconds,
+                                       pid="serving", tid=tid,
+                                       category="fault", attempt=attempt)
                     total_seconds += backoff
                     wasted_seconds += backoff
                     retries += 1
@@ -157,6 +203,16 @@ class CampaignSimulator:
                     if (slowdown * nominal > deadline
                             and attempt < policy.max_retries):
                         # Kill the straggler at the deadline and rerun.
+                        _attempt_span(total_seconds,
+                                      total_seconds + deadline,
+                                      "straggle", attempt=attempt,
+                                      killed=True)
+                        if tracer is not None:
+                            tracer.instant(
+                                "straggler_killed",
+                                total_seconds + deadline, pid="serving",
+                                tid=tid, category="fault",
+                                attempt=attempt)
                         total_seconds += deadline
                         wasted_seconds += deadline
                         stragglers += 1
@@ -165,15 +221,38 @@ class CampaignSimulator:
                         continue
                     # Tolerable straggle (or retries exhausted): wait it
                     # out; the overrun beyond nominal is waste.
+                    _attempt_span(total_seconds,
+                                  total_seconds + slowdown * nominal,
+                                  "straggle", attempt=attempt,
+                                  killed=False)
                     total_seconds += slowdown * nominal
                     useful_seconds += nominal
                     wasted_seconds += (slowdown - 1.0) * nominal
                     completed += batch
+                    outcome = "straggled"
                     break
+                _attempt_span(total_seconds, total_seconds + nominal,
+                              "attempt", attempt=attempt)
                 total_seconds += nominal
                 useful_seconds += nominal
                 completed += batch
                 break
+            _attempt_span(batch_start, total_seconds, "batch",
+                          outcome=outcome, attempts=attempt + 1)
+            if metrics is not None and outcome != "dropped":
+                metrics.histogram("serving/batch_latency_seconds").observe(
+                    total_seconds - batch_start)
+        if metrics is not None:
+            metrics.counter("serving/sequences").inc(completed)
+            metrics.counter("serving/padded_tokens").inc(padded_tokens)
+            metrics.counter("serving/retries").inc(retries)
+            metrics.counter("serving/stragglers").inc(stragglers)
+            metrics.counter("serving/failures").inc(failures)
+            metrics.counter("serving/dropped").inc(dropped)
+            metrics.gauge("serving/campaign_seconds").set(total_seconds)
+            metrics.gauge("serving/padding_waste").set(
+                1.0 - (int(workload.lengths.sum()) / padded_tokens)
+                if padded_tokens else 0.0)
         reliability = None
         if faulty:
             stats = self.fault_model.stats

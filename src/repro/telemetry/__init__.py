@@ -1,0 +1,50 @@
+"""Zero-dependency tracing and metrics for the simulated ProSE stack.
+
+Three pieces:
+
+* :class:`Tracer` — nestable spans (simulated time and wall-clock) plus
+  instant events, attached to instrumented code through an optional
+  ``tracer=`` parameter (``None`` keeps every report bit-identical);
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms that merge hierarchically across instances and campaigns;
+* exporters — Chrome-trace/Perfetto JSON (open at ``ui.perfetto.dev``),
+  flat CSV/JSONL metric dumps, and an ASCII timeline renderer.
+"""
+
+from .export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .render import default_glyph, render_tracer, render_tracks
+from .spans import SIM_CLOCK, WALL_CLOCK, Instant, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "SIM_CLOCK",
+    "Span",
+    "Tracer",
+    "WALL_CLOCK",
+    "default_glyph",
+    "render_tracer",
+    "render_tracks",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,82 @@
+"""ASCII timeline rendering of span data.
+
+One text row per track, a glyph per span, '.' for idle — the terminal
+cousin of the Perfetto view, shared by ``repro.sched.visualize`` and
+the ``trace`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .spans import Span, Tracer
+
+#: An interval to draw: (start seconds, end seconds, glyph character).
+Interval = Tuple[float, float, str]
+
+
+def render_tracks(tracks: Dict[str, Sequence[Interval]],
+                  makespan: Optional[float] = None,
+                  width: int = 100,
+                  max_rows: Optional[int] = 20) -> str:
+    """Render labelled interval tracks as a fixed-width Gantt chart.
+
+    Args:
+        tracks: mapping of track label to its busy intervals; rows are
+            drawn in the mapping's iteration order.
+        makespan: total horizontal extent in seconds (defaults to the
+            latest interval end).
+        width: characters across the full makespan.
+        max_rows: cap on rendered rows (None for all).
+
+    Returns:
+        The chart: one ``label |cells|`` row per track and a time axis.
+    """
+    names = list(tracks)
+    if max_rows is not None:
+        names = names[:max_rows]
+    if makespan is None:
+        makespan = max((end for name in names
+                        for _start, end, _g in tracks[name]), default=0.0)
+    lines: List[str] = []
+    label_width = max((len(name) for name in names), default=8)
+    for name in names:
+        cells = ["."] * width
+        for start, end, glyph in tracks[name]:
+            if makespan <= 0:
+                continue
+            first = int(start / makespan * (width - 1))
+            last = max(first, int(end / makespan * (width - 1)))
+            for position in range(first, min(last, width - 1) + 1):
+                cells[position] = glyph
+        lines.append(f"{name:>{label_width}s} |{''.join(cells)}|")
+    lines.append(f"{'':>{label_width}s}  0{'':{max(width - 10, 0)}s}"
+                 f"{makespan * 1e3:8.2f}ms")
+    return "\n".join(lines)
+
+
+def default_glyph(span: Span) -> str:
+    """First letter of the span's category (fallback '#')."""
+    return span.category[:1] or "#"
+
+
+def render_tracer(tracer: Tracer, width: int = 100,
+                  max_rows: Optional[int] = 20,
+                  pid: Optional[str] = None,
+                  glyph_of: Callable[[Span], str] = default_glyph) -> str:
+    """Render a tracer's sim-time spans, one row per (pid, tid) track.
+
+    Only leaf-level detail is legible in ASCII, so spans are drawn in
+    recording order and later (inner) spans overwrite their parents'
+    glyphs in-place.
+    """
+    tracks: Dict[str, List[Interval]] = {}
+    for span in tracer.finished_spans():
+        if pid is not None and span.pid != pid:
+            continue
+        label = (span.tid if pid is not None or span.pid == "sim"
+                 else f"{span.pid}/{span.tid}")
+        tracks.setdefault(label, []).append(
+            (span.start, span.end or span.start, glyph_of(span)))
+    ordered = {name: tracks[name] for name in sorted(tracks)}
+    return render_tracks(ordered, width=width, max_rows=max_rows)

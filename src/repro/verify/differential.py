@@ -17,7 +17,7 @@ the bfloat16/LUT error budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -46,10 +46,11 @@ class CaseResult:
     exact_match: bool          # functional == cycle-accurate
     reference_error: float     # max |functional - float reference|
     reference_scale: float     # magnitude scale of the reference output
+    relative_tolerance: float = RELATIVE_TOLERANCE
 
     @property
     def passed(self) -> bool:
-        budget = (RELATIVE_TOLERANCE * max(self.reference_scale, 1.0)
+        budget = (self.relative_tolerance * max(self.reference_scale, 1.0)
                   + ABSOLUTE_TOLERANCE)
         return self.exact_match and self.reference_error <= budget
 
@@ -133,11 +134,22 @@ class DifferentialHarness:
             reference = gelu_reference(resident.astype(np.float32))
         else:
             reference = np.exp(np.clip(resident, -80, 80))
+        relative_tolerance = RELATIVE_TOLERANCE
+        if opcode is SimdOpcode.EXP:
+            # Exp turns *absolute* input error into *relative* output
+            # error (|exp(x+e) - exp(x)| / exp(x) = e**e - 1), so widen
+            # the budget by the measured bf16 quantization error of the
+            # matmul result that feeds the LUT.
+            chain_input = to_bfloat16(
+                to_bfloat16(a) @ to_bfloat16(b)).astype(np.float64)
+            input_error = float(np.max(np.abs(chain_input - resident)))
+            relative_tolerance += float(np.expm1(input_error))
         return CaseResult(
             description=f"chain {opcode.value} n={n} k={k}",
             exact_match=bool(np.array_equal(functional, grid_result)),
             reference_error=float(np.max(np.abs(functional - reference))),
-            reference_scale=float(np.max(np.abs(reference)) or 1.0))
+            reference_scale=float(np.max(np.abs(reference)) or 1.0),
+            relative_tolerance=relative_tolerance)
 
     # -- campaign --------------------------------------------------------
 

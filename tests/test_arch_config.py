@@ -9,7 +9,6 @@ from repro.arch import (
     best_perf_plus,
     homogeneous,
     homogeneous_plus,
-    make_partition,
     most_efficient,
     most_efficient_plus,
     nvlink,

@@ -1,6 +1,5 @@
 """Tests for the TPUv2-vs-ProSE microarchitectural step comparison."""
 
-import pytest
 
 from repro.arch.comparison import (
     StepKind,

@@ -14,7 +14,13 @@ from repro.dataflow import (
     coverage_fraction,
 )
 from repro.model import protein_bert_base, protein_bert_tiny
-from repro.trace import OpKind, TraceSpec, bmm_op, elementwise_op, matmul_op, trace_model
+from repro.trace import (
+    OpKind,
+    TraceSpec,
+    elementwise_op,
+    matmul_op,
+    trace_model,
+)
 
 
 class TestPatterns:
@@ -88,7 +94,6 @@ class TestGraphStructure:
         assert q.deps == k.deps == v.deps
 
     def test_dataflow3_depends_on_projections(self, graph):
-        indices = {df.name: i for i, df in graph.dataflows}
         scores = next(df for _, df in graph.dataflows
                       if df.kind is DataflowKind.DATAFLOW_3)
         assert len(scores.deps) == 3

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataflow import (
-    ArrayType,
-    DataflowKind,
-    build_graph_for,
-    build_seq2seq_graph,
-)
+from repro.dataflow import DataflowKind, build_seq2seq_graph
 from repro.model import ProteinSeq2Seq, causal_mask, protein_bert_base, protein_bert_tiny
 from repro.trace import TraceRecorder
 

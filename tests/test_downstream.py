@@ -1,13 +1,10 @@
 """Tests for the downstream task substrate (Figure 2b)."""
 
-import numpy as np
 import pytest
 
 from repro.downstream import (
     TASK_REGISTRY,
-    TaskDataset,
     default_task_extractor,
-    evaluate_all_tasks,
     evaluate_task,
     fluorescence_label,
     format_results,

@@ -1,9 +1,8 @@
 """Edge-case and cross-cutting coverage tests."""
 
-import numpy as np
 import pytest
 
-from repro.arch import HardwareConfig, best_perf
+from repro.arch import best_perf
 from repro.baselines import a100
 from repro.cli import main
 from repro.dataflow import ArrayType, build_graph_for
@@ -69,7 +68,7 @@ class TestRooflineBranches:
 class TestTraceEdgeCases:
     def test_single_layer_model(self):
         config = protein_bert_tiny(num_layers=1)
-        ops = trace_model(TraceSpec(config, batch=1, seq_len=4))
+        trace_model(TraceSpec(config, batch=1, seq_len=4))
         graph = build_graph_for(config, batch=1, seq_len=4)
         assert len(graph.dataflows) == 7     # 5 DF1 + 1 DF2 + 1 DF3
 

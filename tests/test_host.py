@@ -9,7 +9,7 @@ from repro.sched import (
     HOST_POWER_WATTS,
     HostModel,
 )
-from repro.trace import OpKind, elementwise_op, matmul_op
+from repro.trace import OpKind, elementwise_op
 
 
 class TestHostPowerConstants:

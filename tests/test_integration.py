@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full Figure 15 flow end to end."""
 
 import numpy as np
-import pytest
 
 from repro import ProSEEngine, best_perf, protein_bert_tiny
 from repro.arch import SystolicArray, SimdOpcode, SimdStep, make_exp_lut

@@ -1,11 +1,9 @@
 """Tests for the multithreaded orchestration simulator (Figure 8)."""
 
-import dataclasses
 
 import pytest
 
 from repro.arch import best_perf, homogeneous, infinite_link, nvlink
-from repro.dataflow import ArrayType
 from repro.model import protein_bert_tiny
 from repro.sched import HostModel, Orchestrator
 

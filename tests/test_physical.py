@@ -9,7 +9,6 @@ from repro.arch import (
     homogeneous,
     table4_configs,
 )
-from repro.dataflow import ArrayType
 from repro.physical import (
     TABLE2_ROWS,
     characteristics,

@@ -1,6 +1,5 @@
 """Property-based differential tests across the three model layers."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

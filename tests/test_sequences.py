@@ -1,6 +1,5 @@
 """Tests for synthetic sequence generation and FASTA I/O."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,7 +6,6 @@ import pytest
 
 from repro.baselines import (
     CalibrationTarget,
-    a100,
     a100_spec,
     calibrate,
     calibration_residual,

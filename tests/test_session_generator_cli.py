@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arch.generator import (
-    ComponentInventory,
     crosscheck_against_table2,
     elaborate,
     elaboration_report,
@@ -124,3 +123,36 @@ class TestCli:
     def test_unknown_hardware_exits(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--hardware", "nope"])
+
+    def test_no_args_prints_overview(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "subcommands:" in out
+        for name in ("simulate", "trace", "reliability", "zoo"):
+            assert name in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_trace_command_emits_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "trace", "--workload", "schedule", "--batch", "2",
+            "--seq-len", "64", "--out", str(out_path),
+            "--metrics-csv", str(tmp_path / "metrics.csv"),
+            "--metrics-jsonl", str(tmp_path / "metrics.jsonl"),
+        ]) == 0
+        data = json.loads(out_path.read_text())
+        counts = validate_chrome_trace(data)
+        assert counts["spans"] > 0
+        assert (tmp_path / "metrics.csv").exists()
+        assert (tmp_path / "metrics.jsonl").exists()
+        assert "trace" in capsys.readouterr().out

@@ -1,0 +1,392 @@
+"""Tests for the telemetry subsystem: spans, metrics, export, rendering.
+
+Covers the observability invariants the rest of the stack relies on:
+span nesting/ordering, bit-identity of every report when the tracer is
+disabled, Chrome-trace schema validity of exported JSON, histogram
+percentile math at bucket edges, and registry merge semantics.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import best_perf
+from repro.arch.accelerated_model import AcceleratedProteinBert
+from repro.dataflow import ArrayType
+from repro.model import ProteinBert, protein_bert_tiny
+from repro.proteins.workloads import uniprot_like_workload
+from repro.reliability import FaultModel, FaultRates
+from repro.sched import Orchestrator
+from repro.sched.orchestrator import ScheduleResult
+from repro.system import CampaignSimulator, ProSESystem
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    render_tracks,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+
+CONFIG = protein_bert_tiny(num_layers=2, hidden_size=64, num_heads=4,
+                           intermediate_size=128)
+
+
+# -- tracer basics -------------------------------------------------------
+
+class TestTracer:
+    def test_add_span_records_fields(self):
+        tracer = Tracer()
+        span = tracer.add_span("work", 1.0, 2.5, pid="p", tid="t",
+                               category="exec", bytes=42)
+        assert span.duration == pytest.approx(1.5)
+        assert span.args == {"bytes": 42}
+        assert tracer.spans_on(pid="p", tid="t") == [span]
+
+    def test_add_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Tracer().add_span("bad", 2.0, 1.0)
+
+    def test_wall_clock_spans_nest_via_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_wall_clock_spans_close_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.end is not None
+
+    def test_tracks_in_first_appearance_order(self):
+        tracer = Tracer()
+        tracer.add_span("a", 0, 1, pid="p1", tid="x")
+        tracer.add_span("b", 0, 1, pid="p0", tid="y")
+        tracer.instant("e", 0.5, pid="p1", tid="z")
+        assert tracer.tracks() == [("p1", "x"), ("p0", "y"), ("p1", "z")]
+
+
+# -- scheduler instrumentation ------------------------------------------
+
+class TestOrchestratorTracing:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result = Orchestrator(best_perf()).run(
+            CONFIG, batch=4, seq_len=64, tracer=tracer, metrics=metrics)
+        return tracer, metrics, result
+
+    def test_result_bit_identical_without_tracer(self, traced):
+        _tracer, _metrics, instrumented = traced
+        plain = Orchestrator(best_perf()).run(CONFIG, batch=4, seq_len=64)
+        assert plain == instrumented
+
+    def test_spans_cover_every_reservation(self, traced):
+        tracer, metrics, _result = traced
+        reservations = metrics.counter("sched/reservations").value
+        resource_spans = [
+            span for span in tracer.finished_spans()
+            if span.category in ("exec", "stream", "host")]
+        assert len(resource_spans) == reservations > 0
+
+    def test_task_spans_nest_inside_run_span(self, traced):
+        tracer, _metrics, result = traced
+        (run_span,) = tracer.spans_on(tid="schedule")
+        assert run_span.end == pytest.approx(result.makespan_seconds)
+        for span in tracer.finished_spans():
+            assert span.start >= -1e-12
+            assert span.end <= run_span.end + 1e-9
+
+    def test_exported_trace_validates(self, traced):
+        tracer, _metrics, _result = traced
+        counts = validate_chrome_trace(to_chrome_trace(tracer))
+        assert counts["spans"] == len(tracer.finished_spans())
+
+    def test_task_metrics_histogram_populated(self, traced):
+        _tracer, metrics, result = traced
+        histogram = metrics.histogram("sched/task_seconds")
+        assert histogram.count > 0
+        assert metrics.gauge("sched/makespan_seconds").value == (
+            pytest.approx(result.makespan_seconds))
+
+
+class TestBottleneckTieBreak:
+    @staticmethod
+    def _result(host, arrays, links):
+        return ScheduleResult(
+            makespan_seconds=1.0, batch=1, seq_len=8, threads=1,
+            array_utilization=arrays, channel_utilization=links,
+            host_utilization=host, total_stream_bytes=0,
+            total_dispatches=0, contention_seconds=0.0)
+
+    def test_exact_tie_prefers_array_over_link_over_host(self):
+        tied = {ArrayType.M: 0.5}
+        result = self._result(0.5, dict(tied), dict(tied))
+        assert result.bottleneck == "array:M"
+        result = self._result(0.5, {ArrayType.M: 0.4}, dict(tied))
+        assert result.bottleneck == "link:M"
+        result = self._result(0.5, {ArrayType.M: 0.4}, {ArrayType.M: 0.4})
+        assert result.bottleneck == "host"
+
+    def test_tie_within_class_breaks_alphabetically(self):
+        arrays = {ArrayType.M: 0.7, ArrayType.G: 0.7, ArrayType.E: 0.7}
+        result = self._result(0.1, arrays, {ArrayType.M: 0.1})
+        assert result.bottleneck == "array:E"
+
+    def test_higher_utilization_always_wins(self):
+        result = self._result(
+            0.9, {ArrayType.M: 0.2}, {ArrayType.G: 0.3})
+        assert result.bottleneck == "host"
+
+
+# -- system / serving / functional bit-identity -------------------------
+
+class TestSystemTracing:
+    def test_simulate_bit_identical_with_tracer(self):
+        system = ProSESystem(best_perf(), instances=2)
+        plain = system.simulate(CONFIG, batch=4, seq_len=64)
+        tracer = Tracer()
+        traced = system.simulate(CONFIG, batch=4, seq_len=64,
+                                 tracer=tracer, metrics=MetricsRegistry())
+        assert plain == traced
+        assert tracer.spans_on(category="shard")
+        validate_chrome_trace(to_chrome_trace(tracer))
+
+    def test_faulty_simulate_bit_identical_with_tracer(self):
+        system = ProSESystem(best_perf(), instances=2)
+        rates = FaultRates(instance_failure=0.9, link_transient=0.05)
+        plain = system.simulate_with_faults(
+            CONFIG, batch=4, seq_len=64,
+            fault_model=FaultModel(rates, seed=7))
+        tracer = Tracer()
+        traced = system.simulate_with_faults(
+            CONFIG, batch=4, seq_len=64,
+            fault_model=FaultModel(rates, seed=7),
+            tracer=tracer, metrics=MetricsRegistry())
+        assert plain.makespan_seconds == traced.makespan_seconds
+        assert plain.reliability == traced.reliability
+        validate_chrome_trace(to_chrome_trace(tracer))
+
+
+class TestServingTracing:
+    def test_campaign_bit_identical_with_tracer(self):
+        workload = uniprot_like_workload(count=16, seed=5,
+                                         max_length=200)
+        plain = CampaignSimulator(CONFIG).run_on_prose(workload)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        traced = CampaignSimulator(CONFIG).run_on_prose(
+            workload, tracer=tracer, metrics=metrics)
+        assert plain == traced
+        assert metrics.counter("serving/sequences").value == 16
+        assert metrics.histogram(
+            "serving/batch_latency_seconds").count == len(
+                tracer.spans_on(category="batch"))
+        validate_chrome_trace(to_chrome_trace(tracer))
+
+    def test_faulty_campaign_traces_retries(self):
+        workload = uniprot_like_workload(count=16, seed=5,
+                                         max_length=200)
+        faults = FaultModel(FaultRates(batch_failure=0.5), seed=11)
+        tracer = Tracer()
+        traced = CampaignSimulator(CONFIG, fault_model=faults).run_on_prose(
+            workload, tracer=tracer)
+        assert traced.reliability is not None
+        if traced.reliability.retries:
+            assert any(event.name == "retry" for event in tracer.instants)
+        validate_chrome_trace(to_chrome_trace(tracer))
+
+
+class TestFunctionalTracing:
+    def test_forward_bit_identical_and_instrumented(self):
+        import numpy as np
+        tokens = np.arange(12, dtype=np.int64).reshape(2, 6) % 20
+        plain_model = ProteinBert(CONFIG, seed=3)
+        plain = AcceleratedProteinBert(plain_model, array_size=8).forward(
+            tokens)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        traced_model = ProteinBert(CONFIG, seed=3)
+        traced = AcceleratedProteinBert(
+            traced_model, array_size=8, tracer=tracer,
+            metrics=metrics).forward(tokens)
+        assert np.array_equal(plain, traced)
+        names = [span.name for span in tracer.finished_spans()]
+        assert "embed" in names and "forward" in names
+        assert "encoder_layer[0]" in names
+        assert metrics.counter("functional/forward_passes").value == 1
+        assert metrics.counter("functional/tiles").value > 0
+        validate_chrome_trace(to_chrome_trace(tracer))
+
+
+# -- histogram percentile math ------------------------------------------
+
+class TestHistogram:
+    def test_edge_value_lands_in_edge_bucket(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)  # exactly on an edge
+        assert histogram.counts == [0, 1, 0, 0]
+
+    def test_percentiles_at_bucket_edges(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 2.0, 4.0):
+            histogram.observe(value)
+        # counts per bucket: (<=1): 1, (1, 2]: 2, (2, 4]: 1
+        assert histogram.percentile(0) == pytest.approx(1.0)
+        assert histogram.percentile(100) == pytest.approx(4.0)
+        # rank 3 exhausts the (1, 2] bucket exactly -> its upper edge
+        assert histogram.percentile(75) == pytest.approx(2.0)
+        # rank 2 is halfway through (1, 2] -> linear interpolation
+        assert histogram.percentile(50) == pytest.approx(1.5)
+
+    def test_percentile_clamped_to_min_max(self):
+        histogram = Histogram("h", bounds=(10.0,))
+        histogram.observe(3.0)
+        histogram.observe(5.0)
+        for q in (1, 50, 99):
+            assert 3.0 <= histogram.percentile(q) <= 5.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.percentile(99) == pytest.approx(100.0)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0,)).percentile(50)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_merge_requires_identical_bounds(self):
+        left = Histogram("h", bounds=(1.0, 2.0))
+        right = Histogram("h", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_accumulates(self):
+        left = Histogram("h", bounds=(1.0, 2.0))
+        right = Histogram("h", bounds=(1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        left.merge(right)
+        assert left.count == 2
+        assert left.min == 0.5 and left.max == 1.5
+
+
+class TestMetricsRegistry:
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(TypeError):
+            registry.gauge("metric")
+
+    def test_merge_prefixed_and_aggregated(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("requests").inc(3)
+        child.gauge("depth").set(7)
+        parent.merge(child, prefix="instance0")
+        parent.merge(child)
+        parent.merge(child)
+        assert parent.counter("instance0/requests").value == 3
+        assert parent.counter("requests").value == 6
+        assert parent.gauge("depth").value == 7
+
+    def test_rows_include_percentile_columns(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.5)
+        (row,) = registry.rows()
+        assert row["type"] == "histogram"
+        assert set(("p50", "p95", "p99")) <= set(row)
+
+
+# -- export and rendering ------------------------------------------------
+
+class TestExport:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        parent = tracer.add_span("outer", 0.0, 2.0, pid="p", tid="t")
+        tracer.add_span("inner", 0.5, 1.5, pid="p", tid="t",
+                        parent=parent)
+        tracer.instant("tick", 1.0, pid="p", tid="t")
+        return tracer
+
+    def test_round_trip_through_json_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._sample_tracer(), str(path),
+                           metadata={"run": "test"})
+        data = json.loads(path.read_text())
+        counts = validate_chrome_trace(data)
+        assert counts == {"spans": 2, "instants": 1,
+                          "processes": 1, "tracks": 1}
+        assert data["otherData"] == {"run": "test"}
+
+    def test_timestamps_exported_in_microseconds(self):
+        data = to_chrome_trace(self._sample_tracer())
+        inner = next(event for event in data["traceEvents"]
+                     if event.get("name") == "inner")
+        assert inner["ts"] == pytest.approx(0.5e6)
+        assert inner["dur"] == pytest.approx(1.0e6)
+
+    def test_validator_rejects_partial_overlap(self):
+        tracer = Tracer()
+        tracer.add_span("a", 0.0, 2.0, pid="p", tid="t")
+        tracer.add_span("b", 1.0, 3.0, pid="p", tid="t")
+        with pytest.raises(ValueError, match="partially overlaps"):
+            validate_chrome_trace(to_chrome_trace(tracer))
+
+    def test_non_primitive_args_coerced(self):
+        tracer = Tracer()
+        tracer.add_span("s", 0.0, 1.0, payload=object())
+        json.dumps(to_chrome_trace(tracer))  # must not raise
+
+    def test_metrics_dumps(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        registry.histogram("lat").observe(0.01)
+        csv_path = tmp_path / "metrics.csv"
+        jsonl_path = tmp_path / "metrics.jsonl"
+        write_metrics_csv(registry, str(csv_path))
+        write_metrics_jsonl(registry, str(jsonl_path))
+        assert "n,counter,2" in csv_path.read_text().replace(".0", "")
+        lines = jsonl_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["type"] == "histogram"
+
+
+class TestRenderTracks:
+    def test_axis_and_glyphs(self):
+        chart = render_tracks({"array": [(0.0, 0.5, "m")],
+                               "link": [(0.5, 1.0, "s")]},
+                              makespan=1.0, width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("array |m")
+        assert lines[1].rstrip().endswith("s|")
+        assert "ms" in lines[2]
+
+    def test_zero_makespan_renders_idle(self):
+        chart = render_tracks({"t": [(0.0, 0.0, "x")]}, makespan=0.0,
+                              width=10)
+        assert "|.........." in chart.splitlines()[0] or (
+            "|" in chart.splitlines()[0])

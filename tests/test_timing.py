@@ -13,8 +13,8 @@ from repro.arch import (
     simd_stream_bytes,
     time_dataflow,
 )
-from repro.dataflow import Dataflow, DataflowKind, build_graph_for
-from repro.model import protein_bert_base, protein_bert_tiny
+from repro.dataflow import DataflowKind, build_graph_for
+from repro.model import protein_bert_base
 from repro.trace import OpKind, bmm_op, elementwise_op, matmul_op
 
 
