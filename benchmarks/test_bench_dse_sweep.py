@@ -1,0 +1,79 @@
+"""Benchmark: parallel + memoized DSE sweep vs the serial cold path.
+
+Times a bounded sweep (``limit=64``) of the full-scale design space three
+ways — cold with ``workers=2``, cold serial, and ``workers=4`` against a
+warm cache — and asserts the PR's acceptance criterion: the warm parallel
+sweep beats the serial cold path by at least 2x while producing a
+bit-identical :class:`~repro.dse.explorer.DseResult`.
+
+Scenario order matters: the cold parallel run goes first (its fork
+children recompute everything; the parent's caches stay cold), the serial
+run then warms the parent's in-memory caches, and the final ``workers=4``
+run inherits those warm caches through fork.
+"""
+
+import time
+
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.parallel import SweepExecutor, cache_stats, clear_caches
+
+from conftest import emit, run_once
+
+LIMIT = 64
+
+
+def _timed_sweep(explorer, workers):
+    started = time.perf_counter()
+    result = explorer.sweep(limit=LIMIT, workers=workers)
+    return result, time.perf_counter() - started
+
+
+def test_bench_dse_sweep(benchmark):
+    explorer = DesignSpaceExplorer(batch=16, seq_len=512)
+
+    clear_caches()
+    parallel_cold, parallel_cold_s = _timed_sweep(explorer, workers=2)
+
+    clear_caches()
+    explorer._a100_reference = None
+
+    warm_executor = SweepExecutor(workers=4)
+
+    def scenario():
+        serial, serial_s = _timed_sweep(explorer, workers=1)
+        started = time.perf_counter()
+        warm = explorer.sweep(limit=LIMIT, executor=warm_executor)
+        warm_s = time.perf_counter() - started
+        return serial, serial_s, warm, warm_s
+
+    serial, serial_s, warm, warm_s = run_once(benchmark, scenario)
+
+    assert serial == parallel_cold == warm, (
+        "sweep results must be bit-identical across worker counts "
+        "and cache states")
+    speedup_warm = serial_s / warm_s
+    speedup_cold = serial_s / parallel_cold_s
+    assert speedup_warm >= 2.0, (
+        f"warm workers=4 sweep only {speedup_warm:.2f}x faster than the "
+        f"serial cold path ({warm_s:.3f}s vs {serial_s:.3f}s)")
+
+    stats = cache_stats()
+    warm_stats = (warm_executor.last_cache_stats or {}).get(
+        "schedule", stats["schedule"])
+    benchmark.extra_info["limit"] = LIMIT
+    benchmark.extra_info["serial_cold_seconds"] = round(serial_s, 4)
+    benchmark.extra_info["parallel_cold_seconds"] = round(
+        parallel_cold_s, 4)
+    benchmark.extra_info["warm_workers4_seconds"] = round(warm_s, 4)
+    benchmark.extra_info["speedup_warm_vs_serial"] = round(speedup_warm, 2)
+    benchmark.extra_info["speedup_cold_vs_serial"] = round(speedup_cold, 2)
+    benchmark.extra_info["warm_schedule_cache_hits"] = warm_stats.hits
+    benchmark.extra_info["warm_schedule_cache_misses"] = warm_stats.misses
+    emit("dse sweep (limit=64, full-scale space)",
+         f"serial cold      {serial_s:8.3f}s\n"
+         f"workers=2 cold   {parallel_cold_s:8.3f}s "
+         f"({speedup_cold:.2f}x)\n"
+         f"workers=4 warm   {warm_s:8.3f}s ({speedup_warm:.2f}x)\n"
+         f"warm-run schedule cache: {warm_stats.hits} hits / "
+         f"{warm_stats.misses} misses")
+    clear_caches()

@@ -22,6 +22,7 @@ paper reports: GELU 8 exponents × 2 signs × 128 × 2 B = 4 KB, and Exp
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
@@ -115,6 +116,9 @@ class SpecialFunctionLut:
                     [bf16_compose(sign, biased, m)
                      for m in range(MANTISSA_ENTRIES)], dtype=np.float32)
                 outputs = to_bfloat16(spec.reference(inputs))
+                # Tables are shared across arrays (the make_* factories
+                # memoize); freeze them so sharing stays safe.
+                outputs.setflags(write=False)
                 self._tables[(sign, biased)] = outputs
 
     @property
@@ -182,11 +186,18 @@ class SpecialFunctionLut:
         return float(np.max(np.abs(self.lookup(values) - reference)))
 
 
+@functools.lru_cache(maxsize=None)
 def make_gelu_lut() -> SpecialFunctionLut:
-    """Build the 4 KB GELU lookup table."""
+    """The 4 KB GELU lookup table (built once, shared and immutable).
+
+    Every ``ProSEArray``/G-Type instantiation uses the same table the
+    synthesis flow would burn into ROM, so construction is memoized at
+    module level; the returned object's tables are read-only.
+    """
     return SpecialFunctionLut(GELU_SPEC)
 
 
+@functools.lru_cache(maxsize=None)
 def make_exp_lut() -> SpecialFunctionLut:
-    """Build the 6 KB Exp lookup table."""
+    """The 6 KB Exp lookup table (built once, shared and immutable)."""
     return SpecialFunctionLut(EXP_SPEC)

@@ -62,16 +62,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import run_all
 
-    run_all(only=args.only or None)
+    run_all(only=args.only or None, workers=args.workers)
     return 0
 
 
-def cmd_dse(args: argparse.Namespace) -> int:
-    from .dse.explorer import DesignSpaceExplorer
-
-    explorer = DesignSpaceExplorer(batch=args.batch,
-                                   seq_len=args.seq_len)
-    result = explorer.sweep(limit=args.limit)
+def _print_design_points(result) -> None:
     print(f"evaluated {len(result.points)} configurations")
     for label, point in (("BestPerf", result.best_perf),
                          ("MostPowerEfficient",
@@ -82,6 +77,66 @@ def cmd_dse(args: argparse.Namespace) -> int:
               f"runtime(norm)={point.normalized_runtime:.3f} "
               f"power={point.power_watts:.2f}W "
               f"area={point.area_mm2:.2f}mm2")
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from .dse.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(batch=args.batch,
+                                   seq_len=args.seq_len)
+    result = explorer.sweep(limit=args.limit, workers=args.workers)
+    _print_design_points(result)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from .dse.explorer import DesignSpaceExplorer
+    from .dse.space import DEFAULT_PE_BUDGET
+    from .parallel import (
+        SweepExecutor,
+        cache_stats,
+        clear_caches,
+        configure,
+        record_cache_metrics,
+    )
+    from .telemetry import MetricsRegistry, Tracer, write_chrome_trace
+
+    if args.cache_dir:
+        configure(disk_dir=args.cache_dir)
+    if args.no_cache:
+        configure(enabled=False)
+    if args.clear_cache:
+        clear_caches(disk=True)
+
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry()
+    executor = SweepExecutor(SweepExecutor.resolve_workers(args.workers))
+    explorer = DesignSpaceExplorer(batch=args.batch, seq_len=args.seq_len)
+    started = time.perf_counter()
+    result = explorer.sweep(pe_budget=args.budget or DEFAULT_PE_BUDGET,
+                            limit=args.limit, executor=executor,
+                            tracer=tracer, metrics=metrics)
+    elapsed = time.perf_counter() - started
+    _print_design_points(result)
+    print(f"wall time: {elapsed:.3f}s "
+          f"({executor.workers} worker(s), mode={executor.last_mode})")
+    worker_stats = executor.last_cache_stats
+    parent_stats = cache_stats()
+    for name in sorted(set(worker_stats) | set(parent_stats)):
+        snap = worker_stats.get(name) or parent_stats.get(name)
+        print(f"cache[{name}]: {snap.hits} hits, {snap.misses} misses, "
+              f"{snap.disk_hits} disk hits")
+    record_cache_metrics(metrics, worker_stats or None)
+    if args.trace_out:
+        data = write_chrome_trace(
+            tracer, args.trace_out,
+            metadata={"tool": "repro.cli sweep", "version": __version__,
+                      "workers": executor.workers,
+                      "mode": executor.last_mode})
+        print(f"trace: {len(data['traceEvents'])} events -> "
+              f"{args.trace_out}")
     return 0
 
 
@@ -115,7 +170,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     from .system.multi import ProSESystem
 
     if args.sweep:
-        result = fault_campaign.run(seed=args.seed)
+        result = fault_campaign.run(seed=args.seed, workers=args.workers)
         print(fault_campaign.format_result(result))
         return 0
 
@@ -262,13 +317,41 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="regenerate paper artifacts")
     experiments.add_argument("only", nargs="*",
                              help='experiment ids, e.g. "Figure 18"')
+    experiments.add_argument("--workers", type=int, default=None,
+                             help="fan experiments out over N processes")
     experiments.set_defaults(handler=cmd_experiments)
 
     dse = sub.add_parser("dse", help="design-space exploration")
     dse.add_argument("--batch", type=int, default=32)
     dse.add_argument("--seq-len", type=int, default=512)
     dse.add_argument("--limit", type=int, default=None)
+    dse.add_argument("--workers", type=int, default=None,
+                     help="evaluate configurations over N processes")
     dse.set_defaults(handler=cmd_dse)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel DSE sweep with shape-keyed memoization")
+    sweep.add_argument("--batch", type=int, default=32)
+    sweep.add_argument("--seq-len", type=int, default=512)
+    sweep.add_argument("--limit", type=int, default=None,
+                       help="evaluate only the first N configurations")
+    sweep.add_argument("--budget", type=int, default=None,
+                       help="PE budget (default 16384)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default "
+                            "$REPRO_SWEEP_WORKERS or 1)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk cache directory (default "
+                            "$REPRO_CACHE_DIR; unset disables the disk "
+                            "layer)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the trace/schedule caches")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="empty the caches (including disk) first")
+    sweep.add_argument("--trace-out", default=None,
+                       help="write a Perfetto trace of per-worker spans")
+    sweep.set_defaults(handler=cmd_sweep)
 
     binding = sub.add_parser("binding",
                              help="Section 2.2 binding-affinity study")
@@ -295,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--sweep", action="store_true",
                              help="sweep fault rates and print the "
                                   "availability/goodput curve")
+    reliability.add_argument("--workers", type=int, default=None,
+                             help="fan --sweep rate points out over N "
+                                  "processes")
     reliability.set_defaults(handler=cmd_reliability)
 
     trace = sub.add_parser(

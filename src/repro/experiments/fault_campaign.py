@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..model.config import protein_bert_tiny
-from ..proteins.workloads import screening_campaign
+from ..model.config import BertConfig, protein_bert_tiny
+from ..parallel.executor import SweepExecutor
+from ..proteins.workloads import Workload, screening_campaign
 from ..reliability import (
     DegradationPolicy,
     FaultModel,
@@ -47,9 +48,30 @@ class FaultCampaignResult:
     seed: int
 
 
+def _serving_report(payload: Tuple[float, int, BertConfig, Workload,
+                                   RetryPolicy]) -> ReliabilityReport:
+    """One fault-rate point of the sweep (module-level for pickling).
+
+    Each point builds its own seeded :class:`FaultModel`, so the result
+    for a rate is deterministic and independent of sweep order.
+    """
+    rate, seed, config, workload, policy = payload
+    fault_model = FaultModel(
+        FaultRates(batch_failure=rate, straggler=rate,
+                   link_transient=rate / 10.0),
+        seed=seed)
+    simulator = CampaignSimulator(model_config=config, max_batch=8,
+                                  fault_model=fault_model,
+                                  retry_policy=policy)
+    report = simulator.run_on_prose(workload)
+    return (report.reliability
+            or ReliabilityReport(goodput=report.throughput))
+
+
 def run(fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES,
         seed: int = 2022, library_size: int = 96,
-        retry_policy: Optional[RetryPolicy] = None) -> FaultCampaignResult:
+        retry_policy: Optional[RetryPolicy] = None,
+        workers: Optional[int] = None) -> FaultCampaignResult:
     """Sweep fault rates over a screening campaign; kill one instance.
 
     Args:
@@ -58,24 +80,18 @@ def run(fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES,
         seed: root seed for every fault model in the sweep.
         library_size: antibody variants in the screening workload.
         retry_policy: serving retry/backoff knobs.
+        workers: fan the rate points out over N processes; ``None`` reads
+            ``REPRO_SWEEP_WORKERS`` (default 1, the serial path).
     """
     config = protein_bert_tiny(num_layers=2, hidden_size=128, num_heads=4,
                                intermediate_size=512, max_position=2048)
     workload = screening_campaign(library_size=library_size, seed=seed)
     policy = retry_policy or DEFAULT_RETRY_POLICY
-    serving_reports = []
-    for rate in fault_rates:
-        fault_model = FaultModel(
-            FaultRates(batch_failure=rate, straggler=rate,
-                       link_transient=rate / 10.0),
-            seed=seed)
-        simulator = CampaignSimulator(model_config=config, max_batch=8,
-                                      fault_model=fault_model,
-                                      retry_policy=policy)
-        report = simulator.run_on_prose(workload)
-        serving_reports.append(report.reliability
-                               or ReliabilityReport(
-                                   goodput=report.throughput))
+    executor = SweepExecutor(SweepExecutor.resolve_workers(workers))
+    serving_reports = executor.map(
+        _serving_report,
+        [(rate, seed, config, workload, policy) for rate in fault_rates],
+        label="fault-campaign")
 
     # Deterministically kill instance 1 of 4 mid-batch: the recovery
     # path reshards its inferences across the three survivors.

@@ -78,24 +78,49 @@ EXPERIMENTS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
 )
 
 
-def run_all(only: Optional[List[str]] = None, verbose: bool = True) -> str:
+def _execute_experiment(position: int) -> str:
+    """Run one experiment by table position and format its report block.
+
+    Module-level (and int-addressed) so the parallel runner can ship it
+    to worker processes.
+    """
+    exp_id, title, run_fn, format_fn = EXPERIMENTS[position]
+    started = time.time()
+    result = run_fn()
+    elapsed = time.time() - started
+    return (f"=== {exp_id}: {title} ({elapsed:.1f}s) ===\n"
+            f"{format_fn(result)}\n")
+
+
+def run_all(only: Optional[List[str]] = None, verbose: bool = True,
+            workers: Optional[int] = None) -> str:
     """Execute every experiment (or the named subset) and return the report.
 
     Args:
         only: experiment ids to run (e.g. ``["Figure 18"]``); all if None.
         verbose: print each block as it completes.
+        workers: fan the experiments out over N processes; ``None`` reads
+            ``REPRO_SWEEP_WORKERS`` (default 1, the serial path).  Blocks
+            are always assembled and printed in table order.
     """
-    blocks: List[str] = []
-    for exp_id, title, run_fn, format_fn in EXPERIMENTS:
-        if only is not None and exp_id not in only:
-            continue
-        started = time.time()
-        result = run_fn()
-        elapsed = time.time() - started
-        block = (f"=== {exp_id}: {title} ({elapsed:.1f}s) ===\n"
-                 f"{format_fn(result)}\n")
-        blocks.append(block)
-        if verbose:
+    from ..parallel.executor import SweepExecutor
+
+    positions = [index for index, (exp_id, *_rest) in enumerate(EXPERIMENTS)
+                 if only is None or exp_id in only]
+    resolved = SweepExecutor.resolve_workers(workers)
+    if resolved == 1:
+        blocks: List[str] = []
+        for position in positions:
+            block = _execute_experiment(position)
+            blocks.append(block)
+            if verbose:
+                print(block)
+        return "\n".join(blocks)
+    executor = SweepExecutor(resolved)
+    blocks = executor.map(_execute_experiment, positions,
+                          label="experiments")
+    if verbose:
+        for block in blocks:
             print(block)
     return "\n".join(blocks)
 

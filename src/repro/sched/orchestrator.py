@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Tuple
 from ..arch.config import HardwareConfig
 from ..arch.interconnect import DISPATCH_OVERHEAD_SECONDS
 from ..arch.timing import DataflowTiming, time_dataflow
-from ..dataflow.builder import build_graph_for
 from ..dataflow.graph import DataflowGraph, HostTask
 from ..dataflow.patterns import ArrayType, Dataflow
 from ..model.config import BertConfig
@@ -200,8 +199,12 @@ class Orchestrator:
         sub_batches = [base + (1 if t < extra else 0)
                        for t in range(thread_count)]
         if graph_builder is None:
+            # Lazy import: parallel.memo reaches back into this module.
+            from ..parallel.memo import cached_build_graph
+
             def graph_builder(sub: int) -> DataflowGraph:
-                return build_graph_for(config, batch=sub, seq_len=seq_len)
+                return cached_build_graph(config, batch=sub,
+                                          seq_len=seq_len)
         graphs: Dict[int, DataflowGraph] = {}
         for sub in set(sub_batches):
             graphs[sub] = graph_builder(sub)

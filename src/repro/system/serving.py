@@ -16,12 +16,13 @@ from ..arch.config import HardwareConfig, best_perf
 from ..baselines.gpu import a100
 from ..baselines.roofline import RooflineDevice
 from ..model.config import BertConfig, protein_bert_base
+from ..parallel.memo import cached_schedule
 from ..physical.power import power_report
 from ..proteins.workloads import Workload, bucket_batches
 from ..reliability.faults import FaultModel
 from ..reliability.policy import RetryPolicy
 from ..reliability.report import ReliabilityReport
-from ..sched.orchestrator import Orchestrator
+from ..sched.orchestrator import ScheduleResult
 from ..telemetry import MetricsRegistry, Tracer
 
 #: Default padding buckets (token lengths after the 2 special tokens).
@@ -95,12 +96,20 @@ class CampaignSimulator:
         self.max_batch = max_batch
         self.fault_model = fault_model
         self.retry_policy = retry_policy or RetryPolicy()
-        self._orchestrator = Orchestrator(self.hardware)
         self._prose_power = power_report(self.hardware).system_power_w
 
     def _batches(self, workload: Workload) -> List[Tuple[int, int]]:
         return bucket_batches(workload, self.buckets,
                               max_batch=self.max_batch)
+
+    def _schedule(self, seq_len: int, batch: int) -> ScheduleResult:
+        """The nominal batch schedule, memoized on its shape key.
+
+        Campaigns revisit the same (bucket length, batch size) pairs over
+        and over; the shape-keyed cache simulates each pair once.
+        """
+        return cached_schedule(self.hardware, self.model_config,
+                               batch=batch, seq_len=seq_len)
 
     def run_on_prose(self, workload: Workload,
                      tracer: Optional[Tracer] = None,
@@ -136,9 +145,7 @@ class CampaignSimulator:
         faulty = self.fault_model is not None and self.fault_model.active
         policy = self.retry_policy
         for index, (length, batch) in enumerate(self._batches(workload)):
-            schedule = self._orchestrator.run(self.model_config,
-                                              batch=batch,
-                                              seq_len=length)
+            schedule = self._schedule(length, batch)
             nominal = schedule.makespan_seconds
             padded_tokens += length * batch
             batch_start = total_seconds
