@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=("ProSE: a protein discovery engine (ASPLOS 2022) — "
                  "full Python reproduction"),
     package_dir={"": "src"},

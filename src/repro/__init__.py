@@ -30,7 +30,7 @@ from .core import (
 from .model import BertConfig, ProteinBert, protein_bert_base, protein_bert_tiny
 from .proteins import ProteinTokenizer, SequenceGenerator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BertConfig",

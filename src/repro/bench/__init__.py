@@ -1,0 +1,91 @@
+"""Benchmark observatory: scenario registry, recorder, and comparator.
+
+Three pieces on top of :mod:`repro.telemetry`:
+
+* :mod:`repro.bench.scenarios` — named, seeded, picklable perf
+  scenarios covering the stack's hot paths;
+* :mod:`repro.bench.recorder` — median-of-N timing into schema-versioned
+  ``BENCH_<seq>.json`` records (git SHA, machine fingerprint, metric
+  snapshot) that form the repository's performance trajectory;
+* :mod:`repro.bench.compare` — noise-aware regression detection against
+  the trajectory (min-of-medians floor, configurable ±% band).
+
+Driven by ``python -m repro.cli bench``; profiler-to-span hotspot
+attribution lives in :mod:`repro.telemetry.profiling`.
+"""
+
+from .compare import (
+    DEFAULT_BAND_PCT,
+    DEFAULT_MIN_DELTA_SECONDS,
+    STATUS_IMPROVEMENT,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    ScenarioDelta,
+    TrajectoryComparison,
+    compare_records,
+    format_comparison,
+)
+from .recorder import (
+    DEFAULT_REPEAT,
+    SCHEMA,
+    SCHEMA_VERSION,
+    append_artifact_timing,
+    build_record,
+    git_sha,
+    list_bench_paths,
+    load_record,
+    load_records,
+    machine_fingerprint,
+    next_bench_path,
+    run_scenarios,
+    seq_of,
+    time_scenario,
+    validate_record,
+    write_record,
+)
+from .scenarios import (
+    FAST_TAG,
+    SEED,
+    Scenario,
+    get_scenario,
+    register,
+    scenario_names,
+    scenarios,
+)
+
+__all__ = [
+    "DEFAULT_BAND_PCT",
+    "DEFAULT_MIN_DELTA_SECONDS",
+    "DEFAULT_REPEAT",
+    "FAST_TAG",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "SEED",
+    "Scenario",
+    "ScenarioDelta",
+    "STATUS_IMPROVEMENT",
+    "STATUS_NEW",
+    "STATUS_OK",
+    "STATUS_REGRESSION",
+    "TrajectoryComparison",
+    "append_artifact_timing",
+    "build_record",
+    "compare_records",
+    "format_comparison",
+    "get_scenario",
+    "git_sha",
+    "list_bench_paths",
+    "load_record",
+    "load_records",
+    "machine_fingerprint",
+    "next_bench_path",
+    "register",
+    "run_scenarios",
+    "scenario_names",
+    "scenarios",
+    "seq_of",
+    "time_scenario",
+    "validate_record",
+    "write_record",
+]

@@ -1,0 +1,210 @@
+"""Trajectory comparator: noise-aware regression detection over records.
+
+Per scenario, the baseline is the *minimum of the medians* across every
+prior record that measured it — the best time the trajectory has ever
+credibly seen, which filters out noisy (slow) historical runs without
+letting a single lucky sample set the bar (medians already absorb
+per-run jitter).  The current median is then compared against that
+floor with a configurable ±% band: above the band is a regression,
+below it an improvement, inside it OK.  An absolute ``min_delta_seconds``
+guard suppresses regressions on millisecond-scale scenarios, where
+scheduler jitter alone can exceed any reasonable ratio band.  A changed
+result fingerprint is flagged separately — that is semantic drift, not
+a perf delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default tolerance band (percent) around the baseline floor.
+DEFAULT_BAND_PCT = 25.0
+
+#: Default absolute slowdown (seconds) below which a ratio-band breach
+#: is not flagged — sub-millisecond deltas are scheduler noise.
+DEFAULT_MIN_DELTA_SECONDS = 0.0
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVEMENT = "improvement"
+STATUS_NEW = "new"
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's position relative to its trajectory baseline.
+
+    Attributes:
+        name: scenario name.
+        current_seconds: median of the run under test.
+        baseline_seconds: min-of-medians across baselines (None if the
+            scenario has no history — status ``new``).
+        ratio: current / baseline (1.0 when new).
+        status: ``ok`` / ``regression`` / ``improvement`` / ``new``.
+        fingerprint_changed: the result scalar differs from the most
+            recent baseline that recorded one.
+        baseline_count: how many prior records measured this scenario.
+    """
+
+    name: str
+    current_seconds: float
+    baseline_seconds: Optional[float]
+    ratio: float
+    status: str
+    fingerprint_changed: bool = False
+    baseline_count: int = 0
+
+    @property
+    def delta_pct(self) -> float:
+        """Signed percent change vs the baseline floor (0.0 when new)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class TrajectoryComparison:
+    """Outcome of comparing one record against the trajectory."""
+
+    deltas: Tuple[ScenarioDelta, ...]
+    band_pct: float
+    baselines: int
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> Tuple[ScenarioDelta, ...]:
+        return tuple(d for d in self.deltas
+                     if d.status == STATUS_REGRESSION)
+
+    @property
+    def improvements(self) -> Tuple[ScenarioDelta, ...]:
+        return tuple(d for d in self.deltas
+                     if d.status == STATUS_IMPROVEMENT)
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario regressed beyond the band."""
+        return not self.regressions
+
+
+def _scenario_median(record: Dict[str, Any], name: str) -> Optional[float]:
+    timing = record.get("scenarios", {}).get(name)
+    if not isinstance(timing, dict):
+        return None
+    median = timing.get("median_seconds")
+    return float(median) if isinstance(median, (int, float)) else None
+
+
+def _latest_fingerprint(baselines: Sequence[Dict[str, Any]],
+                        name: str) -> Optional[float]:
+    for record in reversed(list(baselines)):
+        timing = record.get("scenarios", {}).get(name)
+        if isinstance(timing, dict):
+            fingerprint = timing.get("fingerprint")
+            if isinstance(fingerprint, (int, float)):
+                return float(fingerprint)
+    return None
+
+
+def compare_records(current: Dict[str, Any],
+                    baselines: Sequence[Dict[str, Any]],
+                    band_pct: float = DEFAULT_BAND_PCT,
+                    min_delta_seconds: float = DEFAULT_MIN_DELTA_SECONDS
+                    ) -> TrajectoryComparison:
+    """Compare ``current`` against prior records of the trajectory.
+
+    Args:
+        current: the record under test (recorder format).
+        baselines: prior records, oldest first; scenarios absent from
+            every baseline are reported as ``new`` and never fail.
+        band_pct: tolerance band in percent; a scenario regresses when
+            ``current_median > floor * (1 + band_pct / 100)``.
+        min_delta_seconds: absolute guard — a band breach only counts
+            as a regression when ``current_median - floor`` also
+            exceeds this many seconds.  Percent bands alone over-flag
+            millisecond-scale scenarios, where a context switch is a
+            double-digit percentage of the whole measurement.
+    """
+    if band_pct < 0:
+        raise ValueError(f"band_pct must be >= 0, got {band_pct}")
+    if min_delta_seconds < 0:
+        raise ValueError(
+            f"min_delta_seconds must be >= 0, got {min_delta_seconds}")
+    notes: List[str] = []
+    current_machine = current.get("machine") or {}
+    for record in baselines:
+        machine = record.get("machine") or {}
+        if machine and current_machine and machine != current_machine:
+            notes.append(
+                f"machine fingerprint differs from baseline "
+                f"seq {record.get('seq')}; cross-machine timings need a "
+                f"wide band")
+            break
+    current_workers = (current.get("executor") or {}).get("workers")
+    for record in baselines:
+        workers = (record.get("executor") or {}).get("workers")
+        if (workers is not None and current_workers is not None
+                and workers != current_workers):
+            notes.append(
+                f"worker count differs (current {current_workers} vs "
+                f"baseline {workers}); parallel timing is "
+                f"contention-noisy")
+            break
+    deltas: List[ScenarioDelta] = []
+    for name, timing in current.get("scenarios", {}).items():
+        current_median = float(timing["median_seconds"])
+        medians = [m for record in baselines
+                   if (m := _scenario_median(record, name)) is not None]
+        fingerprint = timing.get("fingerprint")
+        baseline_fp = _latest_fingerprint(baselines, name)
+        fingerprint_changed = (
+            isinstance(fingerprint, (int, float))
+            and baseline_fp is not None
+            and float(fingerprint) != baseline_fp)
+        if not medians:
+            deltas.append(ScenarioDelta(
+                name=name, current_seconds=current_median,
+                baseline_seconds=None, ratio=1.0, status=STATUS_NEW,
+                fingerprint_changed=fingerprint_changed))
+            continue
+        floor = min(medians)
+        ratio = current_median / floor if floor > 0 else 1.0
+        limit = 1.0 + band_pct / 100.0
+        if ratio > limit and current_median - floor > min_delta_seconds:
+            status = STATUS_REGRESSION
+        elif ratio < 1.0 / limit:
+            status = STATUS_IMPROVEMENT
+        else:
+            status = STATUS_OK
+        deltas.append(ScenarioDelta(
+            name=name, current_seconds=current_median,
+            baseline_seconds=floor, ratio=ratio, status=status,
+            fingerprint_changed=fingerprint_changed,
+            baseline_count=len(medians)))
+    return TrajectoryComparison(deltas=tuple(deltas), band_pct=band_pct,
+                                baselines=len(list(baselines)),
+                                notes=tuple(notes))
+
+
+def format_comparison(comparison: TrajectoryComparison) -> str:
+    """Fixed-width report, one scenario per line, verdict last."""
+    lines = [f"trajectory: {comparison.baselines} baseline record(s), "
+             f"band ±{comparison.band_pct:g}%"]
+    for note in comparison.notes:
+        lines.append(f"  note: {note}")
+    width = max([len(d.name) for d in comparison.deltas] or [8])
+    for delta in comparison.deltas:
+        current = f"{delta.current_seconds * 1e3:9.3f} ms"
+        if delta.baseline_seconds is None:
+            line = (f"  {delta.name:<{width}s} {current}  (new scenario, "
+                    f"no baseline)")
+        else:
+            base = f"{delta.baseline_seconds * 1e3:9.3f} ms"
+            line = (f"  {delta.name:<{width}s} {current}  vs floor {base} "
+                    f" {delta.delta_pct:+7.1f}%  {delta.status}")
+        if delta.fingerprint_changed:
+            line += "  [fingerprint changed]"
+        lines.append(line)
+    verdict = "PASS" if comparison.ok else (
+        f"REGRESSION in {len(comparison.regressions)} scenario(s)")
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Benchmark recorder: run scenarios, persist ``BENCH_<seq>.json`` records.
+
+A record is a schema-versioned JSON document at the repository root
+carrying the git SHA, a machine fingerprint, per-scenario wall-clock
+samples with their median, a snapshot of :class:`MetricsRegistry`
+counters/histograms accumulated during the run, and (optionally) paper
+-artifact timings appended by ``benchmarks/conftest.py``.  The committed
+sequence of records is the repository's performance trajectory — the
+baseline every perf PR proves its speedup (or absence of regression)
+against via :mod:`repro.bench.compare`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import statistics
+import subprocess
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..parallel.executor import SweepExecutor
+from .scenarios import get_scenario
+
+#: Record format identifier and version; bump on incompatible changes.
+SCHEMA = "repro.bench"
+SCHEMA_VERSION = 1
+
+#: Default repeat count (median-of-N) for one recording run.
+DEFAULT_REPEAT = 5
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# -- timing --------------------------------------------------------------
+
+def time_scenario(name: str, repeat: int = DEFAULT_REPEAT
+                  ) -> Dict[str, Any]:
+    """Run one scenario's setup once, then time ``repeat`` executions.
+
+    Returns a JSON-ready dict with the raw samples, their median (the
+    headline number), min/max/mean, and the result fingerprint.  The
+    fingerprint must be identical across repeats; ``stable`` records
+    whether it was.
+    """
+    if repeat <= 0:
+        raise ValueError(f"repeat must be positive, got {repeat}")
+    scenario = get_scenario(name)
+    if scenario.setup is not None:
+        scenario.setup()
+    samples: List[float] = []
+    fingerprint: Optional[float] = None
+    stable = True
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = float(scenario.fn())
+        samples.append(time.perf_counter() - start)
+        if fingerprint is None:
+            fingerprint = value
+        elif value != fingerprint:
+            stable = False
+    return {
+        "name": name,
+        "repeat": repeat,
+        "samples": samples,
+        "median_seconds": statistics.median(samples),
+        "min_seconds": min(samples),
+        "max_seconds": max(samples),
+        "mean_seconds": statistics.fmean(samples),
+        "fingerprint": fingerprint,
+        "stable": stable,
+    }
+
+
+def _time_scenario_task(item: Tuple[str, int]) -> Dict[str, Any]:
+    """Module-level task wrapper so SweepExecutor can fork it."""
+    name, repeat = item
+    return time_scenario(name, repeat)
+
+
+def run_scenarios(names: Sequence[str], repeat: int = DEFAULT_REPEAT, *,
+                  executor: Optional[SweepExecutor] = None,
+                  tracer=None, metrics=None) -> Dict[str, Dict[str, Any]]:
+    """Time every named scenario, optionally fanned out over workers.
+
+    With ``workers>1`` each scenario is timed in its own forked process
+    (isolated caches, no cross-scenario interference); results come back
+    in input order either way.
+    """
+    executor = executor or SweepExecutor()
+    timings = executor.map(_time_scenario_task,
+                           [(name, repeat) for name in names],
+                           tracer=tracer, metrics=metrics, label="bench")
+    return {timing["name"]: timing for timing in timings}
+
+
+# -- environment fingerprint ---------------------------------------------
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """CPU count, platform, interpreter, and numpy version."""
+    import platform
+
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_sha(root: str = ".") -> Optional[str]:
+    """HEAD commit SHA, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"], cwd=root,
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+# -- record file naming ---------------------------------------------------
+
+def seq_of(path: str) -> Optional[int]:
+    """Sequence number parsed from a ``BENCH_<seq>.json`` basename."""
+    match = _BENCH_NAME.match(os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def list_bench_paths(root: str = ".") -> List[str]:
+    """Committed trajectory files under ``root``, in sequence order."""
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return []
+    paths = [os.path.join(root, entry) for entry in entries
+             if _BENCH_NAME.match(entry)]
+    return sorted(paths, key=lambda p: seq_of(p) or 0)
+
+
+def next_bench_path(root: str = ".") -> str:
+    """The next free ``BENCH_<seq>.json`` path under ``root``."""
+    taken = [seq_of(path) or 0 for path in list_bench_paths(root)]
+    seq = (max(taken) + 1) if taken else 1
+    return os.path.join(root, f"BENCH_{seq:04d}.json")
+
+
+# -- records --------------------------------------------------------------
+
+def build_record(timings: Dict[str, Dict[str, Any]],
+                 repeat: int = DEFAULT_REPEAT, *,
+                 metrics=None, root: str = ".",
+                 extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble a schema-versioned record from scenario timings."""
+    record: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "git_sha": git_sha(root),
+        "machine": machine_fingerprint(),
+        "repeat": repeat,
+        "scenarios": dict(timings),
+        "metrics": metrics.rows() if metrics is not None else [],
+        "artifacts": {},
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Check the BENCH schema; returns the record, raises ValueError."""
+    if not isinstance(record, dict):
+        raise ValueError("BENCH record must be a JSON object")
+    if record.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} record: "
+                         f"schema={record.get('schema')!r}")
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(f"record schema_version {version} is newer than "
+                         f"this reader ({SCHEMA_VERSION})")
+    scenarios = record.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise ValueError("record must carry a 'scenarios' object")
+    for name, timing in scenarios.items():
+        if not isinstance(timing, dict):
+            raise ValueError(f"scenario '{name}' entry must be an object")
+        median = timing.get("median_seconds")
+        if not isinstance(median, (int, float)) or median < 0:
+            raise ValueError(f"scenario '{name}': bad median_seconds "
+                             f"{median!r}")
+        samples = timing.get("samples")
+        if not isinstance(samples, list) or not samples:
+            raise ValueError(f"scenario '{name}': missing samples")
+    if not isinstance(record.get("machine"), dict):
+        raise ValueError("record must carry a 'machine' fingerprint")
+    if not isinstance(record.get("artifacts", {}), dict):
+        raise ValueError("'artifacts' must be an object")
+    return record
+
+
+def write_record(record: Dict[str, Any], path: str) -> str:
+    """Validate and atomically write a record; returns ``path``."""
+    record = dict(record)
+    seq = seq_of(path)
+    if seq is not None:
+        record["seq"] = seq
+    validate_record(record)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    """Load and validate one record."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_record(json.load(handle))
+
+
+def load_records(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Load several records, ordered by sequence number then mtime."""
+    records = []
+    for path in paths:
+        record = load_record(path)
+        record.setdefault("seq", seq_of(path))
+        records.append(record)
+    records.sort(key=lambda r: (r.get("seq") is None, r.get("seq") or 0))
+    return records
+
+
+# -- paper-artifact feed (benchmarks/conftest.py) -------------------------
+
+def append_artifact_timing(path: str, name: str, seconds: float) -> None:
+    """Append one paper-artifact wall-clock sample to a record file.
+
+    Creates a minimal (scenario-less) record when ``path`` does not
+    exist, so ``REPRO_BENCH_APPEND=path pytest benchmarks/`` can start a
+    fresh file; appending to a recorder-written file shares its format.
+    """
+    if os.path.exists(path):
+        record = load_record(path)
+    else:
+        record = build_record({}, repeat=0,
+                              root=os.path.dirname(path) or ".")
+    artifacts = record.setdefault("artifacts", {})
+    entry = artifacts.setdefault(name, {"samples": []})
+    entry["samples"].append(float(seconds))
+    entry["median_seconds"] = statistics.median(entry["samples"])
+    write_record(record, path)

@@ -1,0 +1,259 @@
+"""Curated, seeded performance scenarios for the benchmark observatory.
+
+Each scenario is a named, module-level (therefore picklable) callable
+exercising one hot path of the simulated stack: cold trace build, cold
+cycle-level scheduling, systolic bf16 GEMM emulation, the functional
+forward pass, a cold DSE point, and a cold serving campaign.  Scenarios
+return a scalar *fingerprint* of their result so the recorder can detect
+semantic drift (a perf delta with a changed fingerprint means the code
+computes something different, not just slower/faster).
+
+A scenario may declare a ``setup`` callable that runs once, untimed,
+before the repeat loop — used to warm process-wide state (LUT caches,
+model weights, the A100 reference latency) that would otherwise make the
+first sample an outlier.  Scenarios tagged ``cold`` clear the in-memory
+trace/schedule caches inside the timed body so every repeat measures the
+same cold-path work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Every scenario derives its randomness from this seed.
+SEED = 2022
+
+#: Workload shape shared by the workload-level scenarios.
+BATCH = 8
+SEQ_LEN = 128
+
+#: Tag selecting the cheap subset CI smoke-checks on every push.
+FAST_TAG = "fast"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered perf scenario.
+
+    Attributes:
+        name: registry key (also the key in BENCH records).
+        description: one-line summary shown by ``bench --list``.
+        fn: the timed body; returns a scalar result fingerprint.
+        setup: optional untimed warm-up run once before the repeats.
+        tags: free-form labels; ``fast`` marks the CI smoke subset.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[], float]
+    setup: Optional[Callable[[], None]] = None
+    tags: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+#: Per-scenario state populated by setup callables (model instances,
+#: prebuilt workloads); forked workers inherit a warm copy.
+_STATE: Dict[str, object] = {}
+
+
+def register(name: str, description: str, *,
+             setup: Optional[Callable[[], None]] = None,
+             tags: Sequence[str] = ()) -> Callable[[Callable[[], float]],
+                                                   Callable[[], float]]:
+    """Class-less decorator registering a module-level scenario callable."""
+    def decorate(fn: Callable[[], float]) -> Callable[[], float]:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario '{name}' already registered")
+        _REGISTRY[name] = Scenario(name=name, description=description,
+                                   fn=fn, setup=setup, tags=tuple(tags))
+        return fn
+    return decorate
+
+
+def scenarios() -> Dict[str, Scenario]:
+    """The registry, in registration order (a copy; mutating is safe)."""
+    return dict(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(f"unknown scenario '{name}'; choose from: {known}")
+    return scenario
+
+
+def scenario_names(selector: Optional[str] = None) -> List[str]:
+    """Resolve a ``--scenarios`` selector to registry names.
+
+    ``None``/``"all"`` selects everything, a tag (e.g. ``"fast"``)
+    selects every scenario carrying it, and otherwise the selector is a
+    comma-separated list of scenario names.
+    """
+    if selector is None or selector == "all":
+        return list(_REGISTRY)
+    tagged = [name for name, scenario in _REGISTRY.items()
+              if selector in scenario.tags]
+    if tagged:
+        return tagged
+    names = [part.strip() for part in selector.split(",") if part.strip()]
+    if not names:
+        raise KeyError("empty scenario selector")
+    for name in names:
+        get_scenario(name)  # raises KeyError with the known list
+    return names
+
+
+# -- shared fixtures -----------------------------------------------------
+
+def _base_config():
+    from ..model.config import protein_bert_base
+
+    return protein_bert_base()
+
+
+def _tiny_config():
+    from ..model.config import protein_bert_tiny
+
+    return protein_bert_tiny(num_layers=2, hidden_size=64, num_heads=4,
+                             intermediate_size=128)
+
+
+def _hardware():
+    from ..arch.config import table4_configs
+
+    for config in table4_configs():
+        if config.name == "BestPerf":
+            return config
+    return table4_configs()[0]  # pragma: no cover - table always has it
+
+
+# -- scenarios -----------------------------------------------------------
+
+@register("trace_build",
+          "cold symbolic trace + dataflow-graph build "
+          f"(batch {BATCH}, seq {SEQ_LEN})",
+          tags=(FAST_TAG, "cold"))
+def scenario_trace_build() -> float:
+    from ..dataflow.builder import build_graph_for
+
+    graph = build_graph_for(_base_config(), batch=BATCH, seq_len=SEQ_LEN)
+    return float(len(graph))
+
+
+def _setup_schedule() -> None:
+    scenario_schedule()  # warms the trace cache; scheduling itself is cold
+
+
+@register("schedule",
+          "cold cycle-level schedule of one batched inference "
+          "(warm trace cache)",
+          setup=_setup_schedule, tags=(FAST_TAG, "cold"))
+def scenario_schedule() -> float:
+    from ..sched.orchestrator import Orchestrator
+
+    result = Orchestrator(_hardware()).run(_base_config(), batch=BATCH,
+                                           seq_len=SEQ_LEN)
+    return float(result.makespan_seconds)
+
+
+def _setup_systolic_gemm() -> None:
+    scenario_systolic_gemm()  # warms the shared GELU LUT
+
+
+@register("systolic_gemm",
+          "bf16 systolic GEMM + bias + GELU chain (256x256x256, G-Type)",
+          setup=_setup_systolic_gemm, tags=(FAST_TAG,))
+def scenario_systolic_gemm() -> float:
+    from ..arch.systolic import (
+        ExecutionStats,
+        SimdOpcode,
+        SimdStep,
+        make_array,
+    )
+    from ..dataflow.patterns import ArrayType
+
+    rng = np.random.default_rng(SEED)
+    a = rng.standard_normal((256, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 256)).astype(np.float32)
+    array = make_array(16, ArrayType.G)
+    stats = ExecutionStats()
+    out = array.execute_chain(
+        a, b, (SimdStep(SimdOpcode.ADD, 0.5), SimdStep(SimdOpcode.GELU)),
+        stats)
+    return float(np.abs(out).sum())
+
+
+def _setup_functional_forward() -> None:
+    from ..arch.accelerated_model import AcceleratedProteinBert
+    from ..model.bert import ProteinBert
+
+    _STATE["functional_forward"] = AcceleratedProteinBert(
+        ProteinBert(_tiny_config(), seed=SEED))
+
+
+@register("functional_forward",
+          "functional bf16/LUT forward pass (tiny model, 2x32 tokens)",
+          setup=_setup_functional_forward, tags=(FAST_TAG,))
+def scenario_functional_forward() -> float:
+    model = _STATE.get("functional_forward")
+    if model is None:
+        _setup_functional_forward()
+        model = _STATE["functional_forward"]
+    rng = np.random.default_rng(SEED)
+    tokens = rng.integers(0, _tiny_config().vocab_size, size=(2, 32))
+    hidden = model.forward(tokens)
+    return float(np.abs(hidden).sum())
+
+
+def _setup_dse_point() -> None:
+    from ..dse.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(batch=BATCH, seq_len=SEQ_LEN)
+    explorer.a100_runtime()  # memoize the reference latency untimed
+    _STATE["dse_point"] = explorer
+
+
+@register("dse_point",
+          "cold DSE point: trace + schedule + power/area for BestPerf",
+          setup=_setup_dse_point, tags=("cold",))
+def scenario_dse_point() -> float:
+    from ..parallel.cache import clear_caches
+
+    explorer = _STATE.get("dse_point")
+    if explorer is None:
+        _setup_dse_point()
+        explorer = _STATE["dse_point"]
+    clear_caches()  # in-memory only: every repeat re-traces + re-schedules
+    point = explorer.evaluate(_hardware())
+    return float(point.normalized_runtime)
+
+
+def _setup_campaign_simulate() -> None:
+    from ..proteins.workloads import uniprot_like_workload
+    from ..system.serving import CampaignSimulator
+
+    _STATE["campaign_simulate"] = (
+        CampaignSimulator(model_config=_base_config(), max_batch=BATCH),
+        uniprot_like_workload(count=16, seed=SEED))
+
+
+@register("campaign_simulate",
+          "cold serving campaign: bucket + schedule 16 UniProt-like "
+          "sequences",
+          setup=_setup_campaign_simulate, tags=("cold",))
+def scenario_campaign_simulate() -> float:
+    from ..parallel.cache import clear_caches
+
+    state = _STATE.get("campaign_simulate")
+    if state is None:
+        _setup_campaign_simulate()
+        state = _STATE["campaign_simulate"]
+    simulator, workload = state
+    clear_caches()  # cold: per-bucket schedules are recomputed
+    report = simulator.run_on_prose(workload)
+    return float(report.total_seconds)

@@ -9,6 +9,7 @@
     python -m repro.cli zoo
     python -m repro.cli reliability --fault-rate 0.05 --seed 7
     python -m repro.cli trace --seq-len 128 --batch 8 --out trace.json
+    python -m repro.cli bench --repeat 5 --compare BENCH_0001.json --check
 """
 
 from __future__ import annotations
@@ -198,6 +199,96 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        build_record,
+        compare_records,
+        format_comparison,
+        load_records,
+        next_bench_path,
+        run_scenarios,
+        scenario_names,
+        scenarios,
+        write_record,
+    )
+    from .parallel import SweepExecutor
+    from .telemetry import MetricsRegistry, Tracer, validate_chrome_trace, write_chrome_trace
+    from .telemetry.profiling import format_hotspots, profile
+
+    registry = scenarios()
+    if args.list:
+        width = max(len(name) for name in registry)
+        for name, scenario in registry.items():
+            tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+            print(f"{name:<{width}s}  {scenario.description}{tags}")
+        return 0
+    try:
+        names = scenario_names(args.scenarios)
+    except KeyError as error:
+        raise SystemExit(str(error)) from error
+    if args.check and not args.compare:
+        raise SystemExit("--check requires --compare BENCH_*.json "
+                         "baseline(s)")
+
+    executor = SweepExecutor(SweepExecutor.resolve_workers(args.workers))
+    metrics = MetricsRegistry()
+    timings = run_scenarios(names, repeat=args.repeat, executor=executor,
+                            metrics=metrics)
+    width = max(len(name) for name in names)
+    for name in names:
+        timing = timings[name]
+        flag = "" if timing["stable"] else "  [unstable fingerprint]"
+        print(f"{name:<{width}s}  median "
+              f"{timing['median_seconds'] * 1e3:9.3f} ms  "
+              f"[{timing['min_seconds'] * 1e3:9.3f}, "
+              f"{timing['max_seconds'] * 1e3:9.3f}] ms  "
+              f"x{timing['repeat']}{flag}")
+    print(f"ran {len(names)} scenario(s) with {executor.workers} "
+          f"worker(s), mode={executor.last_mode}")
+
+    profiles = []
+    if args.profile:
+        tracer = Tracer()
+        for name in names:
+            scenario = registry[name]
+            if scenario.setup is not None:
+                scenario.setup()
+            with profile(tracer, label=name) as report:
+                with tracer.span(f"scenario:{name}", pid="bench"):
+                    scenario.fn()
+            profiles.append(report)
+            print()
+            print(format_hotspots(report, top=args.top))
+        data = write_chrome_trace(
+            tracer, args.profile_out,
+            metadata={"tool": "repro.cli bench", "version": __version__,
+                      "scenarios": ",".join(names)},
+            profiles=profiles)
+        counts = validate_chrome_trace(data)
+        print(f"profile trace: {counts['spans']} spans on "
+              f"{counts['tracks']} tracks -> {args.profile_out} "
+              f"(open at https://ui.perfetto.dev)")
+
+    record = build_record(
+        timings, repeat=args.repeat, metrics=metrics,
+        extra={"executor": {"workers": executor.workers,
+                            "mode": executor.last_mode}})
+    out = args.out or next_bench_path(".")
+    write_record(record, out)
+    print(f"record -> {out}")
+
+    if args.compare:
+        baselines = load_records(args.compare)
+        comparison = compare_records(record, baselines,
+                                     band_pct=args.band,
+                                     min_delta_seconds=args.min_delta)
+        print()
+        print(format_comparison(comparison))
+        if args.check and not comparison.ok:
+            return 1
+    return 0
+
+
 def cmd_zoo(args: argparse.Namespace) -> int:
     for name in zoo_names():
         print(describe(name))
@@ -318,7 +409,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("only", nargs="*",
                              help='experiment ids, e.g. "Figure 18"')
     experiments.add_argument("--workers", type=int, default=None,
-                             help="fan experiments out over N processes")
+                             help="fan experiments out over N processes "
+                                  "(default $REPRO_SWEEP_WORKERS or 1)")
     experiments.set_defaults(handler=cmd_experiments)
 
     dse = sub.add_parser("dse", help="design-space exploration")
@@ -326,7 +418,8 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--seq-len", type=int, default=512)
     dse.add_argument("--limit", type=int, default=None)
     dse.add_argument("--workers", type=int, default=None,
-                     help="evaluate configurations over N processes")
+                     help="evaluate configurations over N processes "
+                          "(default $REPRO_SWEEP_WORKERS or 1)")
     dse.set_defaults(handler=cmd_dse)
 
     sweep = sub.add_parser(
@@ -380,7 +473,8 @@ def build_parser() -> argparse.ArgumentParser:
                                   "availability/goodput curve")
     reliability.add_argument("--workers", type=int, default=None,
                              help="fan --sweep rate points out over N "
-                                  "processes")
+                                  "processes (default $REPRO_SWEEP_WORKERS "
+                                  "or 1)")
     reliability.set_defaults(handler=cmd_reliability)
 
     trace = sub.add_parser(
@@ -409,6 +503,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--width", type=int, default=100,
                        help="ASCII timeline width")
     trace.set_defaults(handler=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark observatory: record BENCH_<seq>.json, compare "
+             "against the trajectory, profile hotspots")
+    bench.add_argument("--scenarios", default="all",
+                       help="'all', a tag (e.g. 'fast'), or a "
+                            "comma-separated scenario list")
+    bench.add_argument("--repeat", type=int, default=5,
+                       help="timed executions per scenario "
+                            "(median-of-N, default 5)")
+    bench.add_argument("--out", default=None,
+                       help="record path (default: next free "
+                            "BENCH_<seq>.json in the current directory)")
+    bench.add_argument("--compare", nargs="+", default=None,
+                       metavar="BENCH_JSON",
+                       help="prior record(s) to compare against")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero when any scenario regresses "
+                            "beyond the band (requires --compare)")
+    bench.add_argument("--band", type=float, default=25.0,
+                       help="regression tolerance band in percent "
+                            "(default 25)")
+    bench.add_argument("--min-delta", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="absolute slowdown floor: a band breach "
+                            "only fails when current - baseline also "
+                            "exceeds this many seconds (default 0)")
+    bench.add_argument("--profile", action="store_true",
+                       help="re-run each scenario under cProfile and "
+                            "print span-attributed hotspot tables")
+    bench.add_argument("--profile-out", default="bench_profile.json",
+                       help="Perfetto trace with hotspot tracks "
+                            "(with --profile)")
+    bench.add_argument("--top", type=int, default=50,
+                       help="hotspot table rows per scenario "
+                            "(default 50)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="time scenarios in N forked processes "
+                            "(default $REPRO_SWEEP_WORKERS or 1)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

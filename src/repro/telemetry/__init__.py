@@ -8,7 +8,10 @@ Three pieces:
 * :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
   histograms that merge hierarchically across instances and campaigns;
 * exporters — Chrome-trace/Perfetto JSON (open at ``ui.perfetto.dev``),
-  flat CSV/JSONL metric dumps, and an ASCII timeline renderer.
+  flat CSV/JSONL metric dumps, and an ASCII timeline renderer;
+* :func:`profile` — cProfile-backed hotspot capture that attributes
+  per-function self time onto the active span stack and exports next to
+  the spans (see :mod:`repro.telemetry.profiling`).
 """
 
 from .export import (
@@ -25,6 +28,12 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiling import (
+    HotspotEntry,
+    ProfileReport,
+    format_hotspots,
+    profile,
+)
 from .render import default_glyph, render_tracer, render_tracks
 from .spans import SIM_CLOCK, WALL_CLOCK, Instant, Span, Tracer
 
@@ -33,13 +42,17 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "HotspotEntry",
     "Instant",
     "MetricsRegistry",
+    "ProfileReport",
     "SIM_CLOCK",
     "Span",
     "Tracer",
     "WALL_CLOCK",
     "default_glyph",
+    "format_hotspots",
+    "profile",
     "render_tracer",
     "render_tracks",
     "to_chrome_trace",

@@ -7,16 +7,25 @@ timestamps, plus ``"M"`` metadata events naming each process (pid) and
 thread (tid), plus ``"i"`` instant events.  Process labels map to
 stable integer pids in first-appearance order, track labels likewise to
 tids within their process.
+
+Profile reports (:mod:`repro.telemetry.profiling`) export as an extra
+``profile`` process: each report gets one track whose spans are the top
+self-time functions laid end-to-end, so hotspots render next to the
+sim-time spans they explain while staying schema-valid (disjoint spans
+trivially satisfy the nesting check).
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import MetricsRegistry
 from .spans import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .profiling import ProfileReport
 
 #: Microseconds per (simulated or wall) second in exported timestamps.
 _MICROS = 1e6
@@ -29,14 +38,21 @@ def _json_safe(args: Dict[str, object]) -> Dict[str, object]:
             for key, value in args.items()}
 
 
+#: Hotspot functions exported per profile-report track.
+_PROFILE_TRACK_TOP = 40
+
+
 def to_chrome_trace(tracer: Tracer,
-                    metadata: Optional[Dict[str, object]] = None
+                    metadata: Optional[Dict[str, object]] = None,
+                    profiles: Optional[Sequence["ProfileReport"]] = None
                     ) -> Dict[str, object]:
     """Convert a tracer's spans and instants to a Chrome-trace dict.
 
     Args:
         tracer: the tracer to export (open spans are skipped).
         metadata: optional run description stored under ``otherData``.
+        profiles: optional profile reports; each becomes a track of
+            self-time hotspot spans under a ``profile`` process.
 
     Returns:
         A JSON-serializable dict with ``traceEvents`` ready for
@@ -87,16 +103,35 @@ def to_chrome_trace(tracer: Tracer,
             "s": "t",
             "args": _json_safe(dict(instant.args)),
         })
+    for report in profiles or ():
+        cursor = 0.0
+        for entry in report.entries[:_PROFILE_TRACK_TOP]:
+            duration = max(entry.self_seconds, 0.0)
+            events.append({
+                "ph": "X",
+                "name": entry.function,
+                "cat": "profile",
+                "ts": cursor * _MICROS,
+                "dur": duration * _MICROS,
+                "pid": pid_of("profile"),
+                "tid": tid_of("profile", report.label),
+                "args": {"calls": entry.calls,
+                         "self_seconds": entry.self_seconds,
+                         "cumulative_seconds": entry.cumulative_seconds,
+                         "clock": "self-time"},
+            })
+            cursor += duration
     return {"traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": dict(metadata or {})}
 
 
 def write_chrome_trace(tracer: Tracer, path: str,
-                       metadata: Optional[Dict[str, object]] = None
+                       metadata: Optional[Dict[str, object]] = None,
+                       profiles: Optional[Sequence["ProfileReport"]] = None
                        ) -> Dict[str, object]:
     """Write the Chrome-trace JSON to ``path``; returns the dict."""
-    data = to_chrome_trace(tracer, metadata=metadata)
+    data = to_chrome_trace(tracer, metadata=metadata, profiles=profiles)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=1)
     return data

@@ -1,0 +1,237 @@
+"""Profiler-to-span hotspot attribution.
+
+:func:`profile` wraps a block of real work in ``cProfile`` and reduces
+the raw stats to a :class:`ProfileReport`: per-function *self* and
+*cumulative* time, sorted hottest-first, plus attribution onto the
+active :class:`~repro.telemetry.spans.Tracer` span stack.  Attribution
+works by hooking the tracer's wall-clock ``span()`` context manager for
+the duration of the profile: at every directly-profiled span boundary
+the profiler's counters are snapshotted, so each span gets the delta of
+function self-time that elapsed while it was open — the "which functions
+made this span slow" table the flame view cannot answer on its own.
+
+Profiling is measurement only: the wrapped code's results are
+bit-identical with profiling enabled or disabled (the same guarantee
+``tracer=None`` gives for spans).  Export into the Chrome-trace /
+Perfetto JSON lives in :mod:`repro.telemetry.export` (``profiles=``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .spans import Tracer
+
+#: Functions with less self+cumulative time than this are dropped.
+_MIN_SECONDS = 0.0
+
+#: Raw-stat triple: (call count, self seconds, cumulative seconds).
+_Stat = Tuple[int, float, float]
+_Key = Tuple[str, int, str]
+
+
+@dataclass(frozen=True)
+class HotspotEntry:
+    """One profiled function's aggregated cost inside the window."""
+
+    function: str
+    filename: str
+    lineno: int
+    calls: int
+    self_seconds: float
+    cumulative_seconds: float
+
+
+@dataclass
+class ProfileReport:
+    """Reduced cProfile output for one profiled window.
+
+    Attributes:
+        label: caller-chosen name (scenario name, phase, ...).
+        wall_seconds: wall-clock length of the window.
+        total_self_seconds: sum of self time over every entry; the
+            denominator for :meth:`coverage`.
+        entries: all profiled functions, hottest self-time first.
+        span_stack: names of tracer spans already open when the window
+            started (outermost first).
+        span_hotspots: per-span top functions for every wall-clock span
+            opened (and closed) inside the window.
+    """
+
+    label: str = "profile"
+    wall_seconds: float = 0.0
+    total_self_seconds: float = 0.0
+    entries: List[HotspotEntry] = field(default_factory=list)
+    span_stack: Tuple[str, ...] = ()
+    span_hotspots: Dict[str, List[HotspotEntry]] = field(
+        default_factory=dict)
+
+    def top(self, n: int) -> List[HotspotEntry]:
+        """The ``n`` hottest functions by self time."""
+        if n <= 0:
+            raise ValueError(f"top-N must be positive, got {n}")
+        return self.entries[:n]
+
+    def coverage(self, n: int) -> float:
+        """Fraction of total self time the top ``n`` functions explain."""
+        if self.total_self_seconds <= 0.0:
+            return 1.0
+        return (sum(entry.self_seconds for entry in self.top(n))
+                / self.total_self_seconds)
+
+
+# -- raw-stat plumbing ----------------------------------------------------
+
+def _code_key(code) -> _Key:
+    """Stable (filename, lineno, name) key for a profiled code object."""
+    if isinstance(code, str):  # builtins: "<built-in method ...>"
+        return ("~", 0, code)
+    return (code.co_filename, code.co_firstlineno, code.co_name)
+
+
+def _function_label(filename: str, lineno: int, name: str) -> str:
+    if filename == "~":
+        return name if name.startswith("<") else f"<{name}>"
+    parts = filename.replace(os.sep, "/").split("/")
+    short = "/".join(parts[-2:])
+    return f"{short}:{lineno}:{name}"
+
+
+def _snapshot_raw(profiler: cProfile.Profile) -> Dict[_Key, _Stat]:
+    """Current per-function counters; profiler must be *disabled*."""
+    stats: Dict[_Key, _Stat] = {}
+    for entry in profiler.getstats():
+        key = _code_key(entry.code)
+        count, self_s, cum_s = stats.get(key, (0, 0.0, 0.0))
+        stats[key] = (count + entry.callcount,
+                      self_s + entry.inlinetime,
+                      cum_s + entry.totaltime)
+    return stats
+
+
+def _snapshot_live(profiler: cProfile.Profile) -> Dict[_Key, _Stat]:
+    """Snapshot counters mid-run (briefly pausing the profiler)."""
+    profiler.disable()
+    try:
+        return _snapshot_raw(profiler)
+    finally:
+        profiler.enable()
+
+
+def _delta(before: Dict[_Key, _Stat],
+           after: Dict[_Key, _Stat]) -> Dict[_Key, _Stat]:
+    out: Dict[_Key, _Stat] = {}
+    for key, (count, self_s, cum_s) in after.items():
+        base = before.get(key, (0, 0.0, 0.0))
+        diff = (count - base[0], self_s - base[1], cum_s - base[2])
+        if diff[0] > 0 or diff[1] > 0 or diff[2] > 0:
+            out[key] = diff
+    return out
+
+
+_OWN_FILE = os.path.abspath(__file__)
+
+
+def _is_internal(key: _Key) -> bool:
+    """Profiling-harness frames excluded from reports."""
+    filename, _lineno, name = key
+    if filename != "~":
+        return os.path.abspath(filename) == _OWN_FILE
+    return "_lsprof.Profiler" in name
+
+
+def _entries_from(stats: Dict[_Key, _Stat]) -> List[HotspotEntry]:
+    entries = [
+        HotspotEntry(function=_function_label(*key), filename=key[0],
+                     lineno=key[1], calls=count, self_seconds=self_s,
+                     cumulative_seconds=cum_s)
+        for key, (count, self_s, cum_s) in stats.items()
+        if not _is_internal(key)
+        and (self_s > _MIN_SECONDS or cum_s > _MIN_SECONDS)]
+    entries.sort(key=lambda e: (-e.self_seconds, -e.cumulative_seconds,
+                                e.function))
+    return entries
+
+
+# -- the context manager --------------------------------------------------
+
+@contextmanager
+def profile(tracer: Optional[Tracer] = None, *, label: str = "profile",
+            span_top: int = 10) -> Iterator[ProfileReport]:
+    """Profile a block of real work; attribute hotspots to tracer spans.
+
+    Args:
+        tracer: when given, every wall-clock ``tracer.span(...)`` opened
+            inside the window gets a per-span hotspot list in
+            ``report.span_hotspots`` (keyed by span name), and the span
+            stack active at entry is recorded for context.  ``None``
+            profiles without attribution.
+        label: report name (used as the Perfetto track label).
+        span_top: hotspot entries kept per attributed span.
+
+    Yields:
+        A :class:`ProfileReport`, fully populated once the ``with``
+        block exits.
+    """
+    profiler = cProfile.Profile()
+    report = ProfileReport(label=label)
+    hooked = tracer is not None
+    if hooked:
+        report.span_stack = tuple(s.name for s in tracer._open)
+        original_span = tracer.span
+
+        @contextmanager
+        def attributing_span(name: str, **kwargs):
+            before = _snapshot_live(profiler)
+            with original_span(name, **kwargs) as span:
+                try:
+                    yield span
+                finally:
+                    after = _snapshot_live(profiler)
+                    report.span_hotspots[span.name] = _entries_from(
+                        _delta(before, after))[:span_top]
+
+        tracer.span = attributing_span  # instance attr shadows the method
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        if hooked:
+            del tracer.span  # un-shadow the class method
+        report.wall_seconds = time.perf_counter() - start
+        report.entries = _entries_from(_snapshot_raw(profiler))
+        report.total_self_seconds = sum(entry.self_seconds
+                                        for entry in report.entries)
+
+
+# -- reporting ------------------------------------------------------------
+
+def format_hotspots(report: ProfileReport, top: int = 15) -> str:
+    """Fixed-width hotspot table: overall top-N, then per-span top-3."""
+    lines = [f"hotspots[{report.label}]: wall {report.wall_seconds:.4f}s, "
+             f"profiled self {report.total_self_seconds:.4f}s"]
+    if report.span_stack:
+        lines.append("  under spans: " + " > ".join(report.span_stack))
+    if not report.entries:
+        lines.append("  (no samples)")
+        return "\n".join(lines)
+    lines.append(f"  {'self(s)':>9s} {'cum(s)':>9s} {'calls':>8s}  function")
+    shown = report.top(top)
+    for entry in shown:
+        lines.append(f"  {entry.self_seconds:9.4f} "
+                     f"{entry.cumulative_seconds:9.4f} "
+                     f"{entry.calls:8d}  {entry.function}")
+    lines.append(f"  top {len(shown)} of {len(report.entries)} functions "
+                 f"cover {report.coverage(top) * 100:.1f}% of self time")
+    for span_name, entries in report.span_hotspots.items():
+        head = ", ".join(f"{e.function} ({e.self_seconds:.4f}s)"
+                         for e in entries[:3]) or "(no samples)"
+        lines.append(f"  span '{span_name}': {head}")
+    return "\n".join(lines)

@@ -1,0 +1,466 @@
+"""Tests for the benchmark observatory and profiler-to-span attribution.
+
+Covers the registry's selector semantics, recorder schema/sequencing,
+noise-aware trajectory comparison (including the test-injected-slowdown
+regression path the CI gate relies on), the paper-artifact feed, the
+cProfile hotspot reports (coverage, span attribution, Perfetto export,
+bit-identical results), and the ``bench`` CLI end to end.
+"""
+
+import dataclasses
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    append_artifact_timing,
+    build_record,
+    compare_records,
+    format_comparison,
+    get_scenario,
+    list_bench_paths,
+    load_record,
+    load_records,
+    machine_fingerprint,
+    next_bench_path,
+    run_scenarios,
+    scenario_names,
+    scenarios,
+    seq_of,
+    time_scenario,
+    validate_record,
+    write_record,
+)
+import importlib
+
+# ``repro.bench.scenarios`` the *module* (the package re-exports a
+# ``scenarios()`` accessor under the same name, shadowing the attribute).
+scenarios_module = importlib.import_module("repro.bench.scenarios")
+from repro.cli import main
+from repro.telemetry import (
+    Tracer,
+    format_hotspots,
+    profile,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+FAST = scenario_names("fast")
+
+
+def _timing(name, median, fingerprint=1.0):
+    return {"name": name, "repeat": 3,
+            "samples": [median, median, median],
+            "median_seconds": median, "min_seconds": median,
+            "max_seconds": median, "mean_seconds": median,
+            "fingerprint": fingerprint, "stable": True}
+
+
+def _record(timings, **extra):
+    return build_record({t["name"]: t for t in timings}, repeat=3,
+                        extra=extra or None)
+
+
+# -- scenario registry ---------------------------------------------------
+
+class TestScenarioRegistry:
+    def test_registry_has_the_curated_set(self):
+        names = set(scenarios())
+        assert {"trace_build", "schedule", "systolic_gemm",
+                "functional_forward", "dse_point",
+                "campaign_simulate"} <= names
+
+    def test_fast_subset_is_nonempty_and_proper(self):
+        assert FAST
+        assert set(FAST) <= set(scenarios())
+        assert "dse_point" not in FAST  # cold DSE stays out of smoke
+
+    def test_selector_all_and_comma_list(self):
+        assert scenario_names() == list(scenarios())
+        assert scenario_names("all") == list(scenarios())
+        assert scenario_names("schedule,trace_build") == [
+            "schedule", "trace_build"]
+
+    def test_unknown_selector_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="trace_build"):
+            scenario_names("no_such_scenario")
+
+    def test_scenarios_are_picklable_module_level_callables(self):
+        import pickle
+
+        for scenario in scenarios().values():
+            assert pickle.loads(pickle.dumps(scenario.fn)) is scenario.fn
+
+    def test_fingerprints_are_deterministic(self):
+        scenario = get_scenario("trace_build")
+        assert scenario.fn() == scenario.fn()
+
+
+# -- recorder ------------------------------------------------------------
+
+class TestRecorder:
+    def test_time_scenario_shape_and_stability(self):
+        timing = time_scenario("trace_build", repeat=3)
+        assert timing["repeat"] == 3
+        assert len(timing["samples"]) == 3
+        assert timing["min_seconds"] <= timing["median_seconds"]
+        assert timing["median_seconds"] <= timing["max_seconds"]
+        assert timing["stable"] is True
+        assert timing["fingerprint"] > 0
+
+    def test_time_scenario_rejects_bad_repeat(self):
+        with pytest.raises(ValueError, match="repeat"):
+            time_scenario("trace_build", repeat=0)
+
+    def test_run_scenarios_returns_all_names(self):
+        timings = run_scenarios(["trace_build", "systolic_gemm"], repeat=2)
+        assert set(timings) == {"trace_build", "systolic_gemm"}
+
+    def test_record_round_trip_and_schema(self, tmp_path):
+        timings = run_scenarios(["trace_build"], repeat=2)
+        record = build_record(timings, repeat=2)
+        assert record["schema"] == SCHEMA
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert set(record["machine"]) >= {"platform", "python", "numpy",
+                                          "cpu_count"}
+        path = write_record(record, str(tmp_path / "BENCH_0007.json"))
+        loaded = load_record(path)
+        assert loaded["seq"] == 7
+        assert loaded["scenarios"]["trace_build"]["median_seconds"] > 0
+
+    def test_validate_rejects_foreign_and_future_records(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_record({"schema": "other", "schema_version": 1})
+        record = _record([_timing("trace_build", 1e-3)])
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            validate_record(record)
+        bad = _record([_timing("trace_build", 1e-3)])
+        bad["scenarios"]["trace_build"]["median_seconds"] = -1.0
+        with pytest.raises(ValueError, match="median_seconds"):
+            validate_record(bad)
+
+    def test_sequence_numbering(self, tmp_path):
+        root = str(tmp_path)
+        assert next_bench_path(root).endswith("BENCH_0001.json")
+        record = _record([_timing("trace_build", 1e-3)])
+        write_record(record, str(tmp_path / "BENCH_0003.json"))
+        assert seq_of(str(tmp_path / "BENCH_0003.json")) == 3
+        assert next_bench_path(root).endswith("BENCH_0004.json")
+        assert [seq_of(p) for p in list_bench_paths(root)] == [3]
+
+    def test_machine_fingerprint_matches_environment(self):
+        fingerprint = machine_fingerprint()
+        assert fingerprint["numpy"] == np.__version__
+        assert fingerprint["cpu_count"] >= 1
+
+    def test_append_artifact_timing_creates_and_accumulates(self, tmp_path):
+        path = str(tmp_path / "BENCH_0001.json")
+        append_artifact_timing(path, "figure18", 0.25)
+        append_artifact_timing(path, "figure18", 0.35)
+        record = load_record(path)
+        entry = record["artifacts"]["figure18"]
+        assert entry["samples"] == [0.25, 0.35]
+        assert entry["median_seconds"] == pytest.approx(0.30)
+
+    def test_append_artifact_timing_extends_recorder_output(self, tmp_path):
+        path = str(tmp_path / "BENCH_0002.json")
+        write_record(_record([_timing("trace_build", 1e-3)]), path)
+        append_artifact_timing(path, "table2", 0.1)
+        record = load_record(path)
+        assert "trace_build" in record["scenarios"]
+        assert record["artifacts"]["table2"]["samples"] == [0.1]
+
+
+# -- comparator ----------------------------------------------------------
+
+class TestComparator:
+    def test_unchanged_tree_passes(self):
+        baseline = _record([_timing("schedule", 0.020)])
+        current = _record([_timing("schedule", 0.021)])
+        comparison = compare_records(current, [baseline], band_pct=25.0)
+        assert comparison.ok
+        assert comparison.deltas[0].status == "ok"
+
+    def test_regression_beyond_band_fails(self):
+        baseline = _record([_timing("schedule", 0.020)])
+        current = _record([_timing("schedule", 0.030)])
+        comparison = compare_records(current, [baseline], band_pct=25.0)
+        assert not comparison.ok
+        delta = comparison.regressions[0]
+        assert delta.name == "schedule"
+        assert delta.delta_pct == pytest.approx(50.0)
+
+    def test_min_of_medians_sets_the_floor(self):
+        noisy = _record([_timing("schedule", 0.040)])
+        good = _record([_timing("schedule", 0.020)])
+        current = _record([_timing("schedule", 0.030)])
+        # vs the noisy record alone this would look like an improvement;
+        # the floor across both baselines makes it a regression.
+        comparison = compare_records(current, [noisy, good], band_pct=25.0)
+        assert comparison.deltas[0].baseline_seconds == 0.020
+        assert not comparison.ok
+
+    def test_improvement_and_new_statuses(self):
+        baseline = _record([_timing("schedule", 0.020)])
+        current = _record([_timing("schedule", 0.010),
+                           _timing("brand_new", 0.5)])
+        comparison = compare_records(current, [baseline], band_pct=25.0)
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses == {"schedule": "improvement", "brand_new": "new"}
+        assert comparison.ok  # new + improvement never fail the gate
+
+    def test_fingerprint_change_is_flagged_not_failed(self):
+        baseline = _record([_timing("schedule", 0.020, fingerprint=1.0)])
+        current = _record([_timing("schedule", 0.020, fingerprint=2.0)])
+        comparison = compare_records(current, [baseline])
+        assert comparison.deltas[0].fingerprint_changed
+        assert comparison.ok
+        assert "fingerprint changed" in format_comparison(comparison)
+
+    def test_cross_machine_and_worker_notes(self):
+        baseline = _record([_timing("schedule", 0.020)],
+                           executor={"workers": 1, "mode": "serial"})
+        current = _record([_timing("schedule", 0.020)],
+                          executor={"workers": 4, "mode": "process"})
+        baseline["machine"] = dict(baseline["machine"], platform="other-os")
+        comparison = compare_records(current, [baseline])
+        text = format_comparison(comparison)
+        assert "machine fingerprint differs" in text
+        assert "worker count differs" in text
+
+    def test_min_delta_suppresses_tiny_absolute_regressions(self):
+        # +50% on a 2 ms scenario is one context switch, not a
+        # regression; the absolute guard keeps the gate quiet.
+        baseline = _record([_timing("trace_build", 0.002)])
+        current = _record([_timing("trace_build", 0.003)])
+        flagged = compare_records(current, [baseline], band_pct=25.0)
+        assert not flagged.ok
+        guarded = compare_records(current, [baseline], band_pct=25.0,
+                                  min_delta_seconds=0.005)
+        assert guarded.ok
+        assert guarded.deltas[0].status == "ok"
+
+    def test_min_delta_keeps_real_regressions(self):
+        baseline = _record([_timing("campaign", 0.100)])
+        current = _record([_timing("campaign", 0.200)])
+        comparison = compare_records(current, [baseline], band_pct=25.0,
+                                     min_delta_seconds=0.015)
+        assert not comparison.ok
+        with pytest.raises(ValueError, match="min_delta_seconds"):
+            compare_records(current, [baseline], min_delta_seconds=-0.1)
+
+    def test_band_validation_and_formatting(self):
+        with pytest.raises(ValueError, match="band_pct"):
+            compare_records(_record([]), [], band_pct=-1)
+        comparison = compare_records(
+            _record([_timing("schedule", 0.02)]), [])
+        text = format_comparison(comparison)
+        assert "new scenario" in text
+        assert "PASS" in text
+
+    def test_load_records_orders_by_sequence(self, tmp_path):
+        for seq, median in ((2, 0.2), (1, 0.1)):
+            write_record(_record([_timing("schedule", median)]),
+                         str(tmp_path / f"BENCH_{seq:04d}.json"))
+        records = load_records(list_bench_paths(str(tmp_path)))
+        assert [r["seq"] for r in records] == [1, 2]
+
+
+# -- profiling -----------------------------------------------------------
+
+class TestProfiling:
+    def test_profile_collects_named_hotspots(self):
+        with profile(label="unit") as report:
+            np.matmul(np.ones((64, 64)), np.ones((64, 64)))
+        assert report.wall_seconds > 0
+        assert report.entries
+        assert all(entry.function for entry in report.entries)
+        assert report.total_self_seconds == pytest.approx(
+            sum(e.self_seconds for e in report.entries))
+
+    def test_dse_point_hotspot_table_covers_90_percent(self):
+        scenario = get_scenario("dse_point")
+        scenario.setup()
+        scenario.fn()  # warm numpy/runtime internals once
+        with profile(label="dse_point") as report:
+            scenario.fn()
+        assert report.coverage(50) >= 0.90
+        table = format_hotspots(report, top=50)
+        assert "cover" in table
+        assert "orchestrator" in table  # the scheduler shows up by name
+
+    def test_span_attribution_for_spans_inside_the_window(self):
+        tracer = Tracer()
+        scenario = get_scenario("systolic_gemm")
+        scenario.setup()
+        with profile(tracer, label="gemm") as report:
+            with tracer.span("scenario:gemm", pid="bench"):
+                scenario.fn()
+        assert "scenario:gemm" in report.span_hotspots
+        assert report.span_hotspots["scenario:gemm"]
+        # the hook restored the original bound method
+        assert "span" not in vars(tracer)
+
+    def test_span_stack_recorded_for_enclosing_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", pid="bench"):
+            with profile(tracer, label="inner") as report:
+                sum(range(10))
+        assert report.span_stack == ("outer",)
+
+    def test_profile_export_validates_and_sits_on_profile_track(self):
+        tracer = Tracer()
+        with profile(tracer, label="export_case") as report:
+            with tracer.span("work", pid="bench"):
+                np.fft.fft(np.ones(4096))
+        data = to_chrome_trace(tracer, profiles=[report])
+        counts = validate_chrome_trace(data)
+        assert counts["spans"] >= len(report.entries[:40]) + 1
+        names = {event.get("args", {}).get("name")
+                 for event in data["traceEvents"]
+                 if event.get("ph") == "M"
+                 and event.get("name") == "process_name"}
+        assert {"bench", "profile"} <= names
+
+    def test_results_bit_identical_with_profiling(self):
+        scenario = get_scenario("functional_forward")
+        scenario.setup()
+        plain = scenario.fn()
+        with profile(label="parity"):
+            profiled = scenario.fn()
+        assert profiled == plain
+
+    def test_top_rejects_nonpositive(self):
+        with profile() as report:
+            pass
+        with pytest.raises(ValueError, match="top-N"):
+            report.top(0)
+
+
+# -- CLI -----------------------------------------------------------------
+
+class TestBenchCli:
+    def test_record_compare_check_pass_on_unchanged_tree(self, tmp_path):
+        baseline = str(tmp_path / "BENCH_0001.json")
+        assert main(["bench", "--scenarios", "trace_build",
+                     "--repeat", "2", "--out", baseline]) == 0
+        validate_record(json.loads(open(baseline).read()))
+        second = str(tmp_path / "BENCH_0002.json")
+        assert main(["bench", "--scenarios", "trace_build",
+                     "--repeat", "2", "--out", second,
+                     "--compare", baseline, "--check",
+                     "--band", "300"]) == 0
+
+    def test_injected_slowdown_fails_check(self, tmp_path, monkeypatch):
+        baseline = str(tmp_path / "BENCH_0001.json")
+        assert main(["bench", "--scenarios", "trace_build",
+                     "--repeat", "2", "--out", baseline]) == 0
+
+        real = get_scenario("trace_build")
+
+        def slowed() -> float:
+            time.sleep(0.05)
+            return real.fn()
+
+        monkeypatch.setitem(scenarios_module._REGISTRY, "trace_build",
+                            dataclasses.replace(real, fn=slowed))
+        out = str(tmp_path / "BENCH_0002.json")
+        assert main(["bench", "--scenarios", "trace_build",
+                     "--repeat", "2", "--out", out,
+                     "--compare", baseline, "--check",
+                     "--band", "35"]) == 1
+
+    def test_profile_flag_writes_valid_perfetto_json(self, tmp_path,
+                                                     capsys):
+        out = str(tmp_path / "BENCH_0001.json")
+        prof = str(tmp_path / "prof.json")
+        assert main(["bench", "--scenarios", "systolic_gemm",
+                     "--repeat", "1", "--out", out,
+                     "--profile", "--profile-out", prof,
+                     "--top", "5"]) == 0
+        with open(prof, encoding="utf-8") as handle:
+            counts = validate_chrome_trace(json.load(handle))
+        assert counts["spans"] > 0
+        captured = capsys.readouterr().out
+        assert "hotspots[systolic_gemm]" in captured
+        assert "span 'scenario:systolic_gemm'" in captured
+
+    def test_list_and_bad_selector(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "trace_build" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["bench", "--scenarios", "nope"])
+
+    def test_check_without_compare_is_an_error(self):
+        with pytest.raises(SystemExit, match="--check requires"):
+            main(["bench", "--scenarios", "trace_build",
+                  "--repeat", "1", "--check"])
+
+    def test_overview_lists_bench(self, capsys):
+        assert main([]) == 0
+        assert "bench" in capsys.readouterr().out
+
+    def test_workers_help_documents_env_default(self, capsys):
+        for command in ("experiments", "dse", "sweep", "reliability",
+                        "bench"):
+            with pytest.raises(SystemExit):
+                main([command, "--help"])
+            assert "REPRO_SWEEP_WORKERS" in capsys.readouterr().out
+
+
+# -- conftest feed -------------------------------------------------------
+
+class TestArtifactFeed:
+    def test_run_once_appends_when_env_set(self, tmp_path, monkeypatch):
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest",
+            os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "benchmarks", "conftest.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        class FakeBenchmark:
+            name = "test_bench_fake"
+
+            def pedantic(self, fn, args=(), kwargs=None, rounds=1,
+                         iterations=1):
+                return fn(*args, **(kwargs or {}))
+
+        path = str(tmp_path / "BENCH_0001.json")
+        monkeypatch.setenv(module.RECORD_ENV, path)
+        result = module.run_once(FakeBenchmark(), lambda x: x + 1, 41)
+        assert result == 42
+        record = load_record(path)
+        assert record["artifacts"]["test_bench_fake"]["samples"]
+
+    def test_run_once_untouched_without_env(self, tmp_path, monkeypatch):
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest2",
+            os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "benchmarks", "conftest.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.delenv(module.RECORD_ENV, raising=False)
+
+        calls = []
+
+        class FakeBenchmark:
+            def pedantic(self, fn, args=(), kwargs=None, rounds=1,
+                         iterations=1):
+                calls.append((rounds, iterations))
+                return fn(*args, **(kwargs or {}))
+
+        assert module.run_once(FakeBenchmark(), lambda: 7) == 7
+        assert calls == [(1, 1)]
+        assert list(tmp_path.iterdir()) == []

@@ -287,6 +287,68 @@ class TestHistogram:
         assert left.count == 2
         assert left.min == 0.5 and left.max == 1.5
 
+    # Persisted BENCH records quote these percentiles verbatim, so the
+    # extreme-q and post-merge paths must be exact, not just plausible.
+
+    def test_q0_is_exactly_the_minimum(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (1.7, 2.3, 3.9):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1.7
+
+    def test_q100_is_exactly_the_maximum(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.2, 1.1, 3.3):
+            histogram.observe(value)
+        assert histogram.percentile(100) == 3.3
+
+    def test_q1_stays_inside_the_first_populated_bucket(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (1.5, 1.6, 3.0, 3.5):
+            histogram.observe(value)
+        estimate = histogram.percentile(1)
+        assert 1.5 <= estimate <= 2.0
+
+    def test_single_observation_answers_every_q_exactly(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.5)
+        for q in (0, 1, 50, 99, 100):
+            assert histogram.percentile(q) == 2.5
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(0.5)
+        for q in (-0.1, 100.1):
+            with pytest.raises(ValueError):
+                histogram.percentile(q)
+
+    def test_post_merge_percentiles_interpolate_over_joint_counts(self):
+        left = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        right = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5):
+            left.observe(value)
+        for value in (1.5, 3.0):
+            right.observe(value)
+        left.merge(right)
+        # joint counts: [1, 2, 1, 0]; min 0.5, max 3.0
+        assert left.percentile(0) == 0.5
+        assert left.percentile(100) == 3.0
+        # rank 2 = (0.5, 1] bucket exhausted + half of (1, 2]
+        assert left.percentile(50) == pytest.approx(1.5)
+        # rank 3 exhausts (1, 2] -> its upper edge exactly
+        assert left.percentile(75) == pytest.approx(2.0)
+        # estimates stay monotone in q after the merge
+        estimates = [left.percentile(q) for q in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+
+    def test_merge_into_empty_adopts_min_max(self):
+        empty = Histogram("h", bounds=(1.0, 2.0))
+        full = Histogram("h", bounds=(1.0, 2.0))
+        full.observe(1.5)
+        empty.merge(full)
+        assert empty.min == 1.5 and empty.max == 1.5
+        assert empty.percentile(50) == 1.5
+
 
 class TestMetricsRegistry:
     def test_counter_rejects_negative(self):
@@ -318,6 +380,41 @@ class TestMetricsRegistry:
         (row,) = registry.rows()
         assert row["type"] == "histogram"
         assert set(("p50", "p95", "p99")) <= set(row)
+
+    # BENCH records snapshot merged registries; a prefixed merge that
+    # lands on an existing name must aggregate (same type) or fail
+    # loudly (type clash) — never silently overwrite.
+
+    def test_prefixed_merge_onto_same_type_aggregates(self):
+        parent = MetricsRegistry()
+        parent.counter("instance0/requests").inc(2)
+        child = MetricsRegistry()
+        child.counter("requests").inc(3)
+        parent.merge(child, prefix="instance0")
+        assert parent.counter("instance0/requests").value == 5
+
+    def test_prefixed_merge_type_clash_raises(self):
+        parent = MetricsRegistry()
+        parent.gauge("instance0/requests").set(1)
+        child = MetricsRegistry()
+        child.counter("requests").inc(3)
+        with pytest.raises(TypeError, match="instance0/requests"):
+            parent.merge(child, prefix="instance0")
+
+    def test_prefixed_merge_histogram_bounds_clash_raises(self):
+        parent = MetricsRegistry()
+        parent.histogram("instance0/lat", bounds=(1.0, 2.0)).observe(0.5)
+        child = MetricsRegistry()
+        child.histogram("lat", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            parent.merge(child, prefix="instance0")
+
+    def test_child_name_already_containing_prefix_separator(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("sched/dispatches").inc(4)
+        parent.merge(child, prefix="instance1")
+        assert parent.counter("instance1/sched/dispatches").value == 4
 
 
 # -- export and rendering ------------------------------------------------
