@@ -257,3 +257,33 @@ def scenario_campaign_simulate() -> float:
     clear_caches()  # cold: per-bucket schedules are recomputed
     report = simulator.run_on_prose(workload)
     return float(report.total_seconds)
+
+
+def _setup_fleet_simulate() -> None:
+    from ..fleet import FleetSimulator, build_fleet, build_scenario
+    from ..model.config import protein_bert_tiny
+    from ..reliability import DegradationPolicy, FaultModel
+
+    topology = build_fleet(racks=2, hosts_per_rack=2, instances_per_host=2)
+    simulator = FleetSimulator(
+        topology, model_config=protein_bert_tiny(),
+        fault_model=FaultModel(seed=SEED),
+        policy=DegradationPolicy(min_capacity_fraction=0.25),
+        seq_len=64, reference_batch=4)
+    simulator.nominal_makespan(64)  # warm the schedule cache
+    _STATE["fleet_simulate"] = (
+        simulator, build_scenario("rack_power_loss", topology))
+
+
+@register("fleet_simulate",
+          "fleet chaos recovery: rack power loss over 2x2x2, detect + "
+          "re-shard + drain",
+          setup=_setup_fleet_simulate, tags=(FAST_TAG,))
+def scenario_fleet_simulate() -> float:
+    state = _STATE.get("fleet_simulate")
+    if state is None:
+        _setup_fleet_simulate()
+        state = _STATE["fleet_simulate"]
+    simulator, scenario = state
+    report = simulator.run(batch=64, scenario=scenario)
+    return float(report.makespan_seconds)

@@ -8,6 +8,7 @@
     python -m repro.cli embed MEYQKLVIV ACDEFGHIK
     python -m repro.cli zoo
     python -m repro.cli reliability --fault-rate 0.05 --seed 7
+    python -m repro.cli fleet --scenario rack_power_loss --trace-out fleet.json
     python -m repro.cli trace --seq-len 128 --batch 8 --out trace.json
     python -m repro.cli bench --repeat 5 --compare BENCH_0001.json --check
 """
@@ -196,6 +197,110 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     print(f"  survivors: {scenario.survivors}, energy "
           f"{scenario.energy_joules:.3f} J "
           f"(fault-free {scenario.fault_free_energy_joules:.3f} J)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .experiments import chaos_campaign
+    from .fleet import (
+        SCENARIO_BUILDERS,
+        FleetSimulator,
+        build_fleet,
+        build_scenario,
+    )
+    from .model.config import protein_bert_base, protein_bert_tiny
+    from .reliability import (
+        DegradationPolicy,
+        FaultModel,
+        FaultRates,
+        derive_task_seed,
+    )
+    from .telemetry import (
+        MetricsRegistry,
+        Tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    if args.list:
+        topology = build_fleet(racks=args.racks,
+                               hosts_per_rack=args.hosts_per_rack,
+                               instances_per_host=args.instances_per_host,
+                               heterogeneous=args.heterogeneous)
+        width = max(len(name) for name in SCENARIO_BUILDERS)
+        for name, builder in SCENARIO_BUILDERS.items():
+            print(f"{name:<{width}s}  {builder(topology).description}")
+        return 0
+
+    if args.scenario == "all":
+        result = chaos_campaign.run(
+            batch=args.batch, seed=args.seed, racks=args.racks,
+            hosts_per_rack=args.hosts_per_rack,
+            instances_per_host=args.instances_per_host,
+            heterogeneous=args.heterogeneous, workers=args.workers)
+        print(chaos_campaign.format_result(result))
+        return 0
+
+    topology = build_fleet(racks=args.racks,
+                           hosts_per_rack=args.hosts_per_rack,
+                           instances_per_host=args.instances_per_host,
+                           hardware=_hardware_by_name(args.hardware),
+                           heterogeneous=args.heterogeneous)
+    scenario = (None if args.scenario == "none"
+                else build_scenario(args.scenario, topology))
+    config = protein_bert_tiny() if args.tiny else protein_bert_base()
+    fault_model = FaultModel(
+        FaultRates(link_transient=args.link_transient_rate),
+        seed=derive_task_seed(args.seed, args.scenario))
+    simulator = FleetSimulator(
+        topology, model_config=config, fault_model=fault_model,
+        policy=DegradationPolicy(
+            min_capacity_fraction=args.min_capacity,
+            circuit_breaker_failures=args.breaker_failures),
+        seq_len=args.seq_len, reference_batch=args.reference_batch)
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry()
+    report = simulator.run(batch=args.batch, scenario=scenario,
+                           tracer=tracer, metrics=metrics)
+
+    print(f"fleet:     {report.topology}")
+    if scenario is not None:
+        print(f"scenario:  {scenario.name} — {scenario.description}")
+    else:
+        print("scenario:  none (clean run)")
+    print(f"workload:  {report.batch} inferences, seq_len {args.seq_len}, "
+          f"seed {args.seed}")
+    print(f"makespan:  {report.makespan_seconds * 1e3:.3f} ms "
+          f"(nominal {report.nominal_makespan_seconds * 1e3:.3f} ms, "
+          f"availability {report.availability:.4f})")
+    print(f"goodput:   {report.goodput:.1f} inf/s "
+          f"({report.completed:.1f} done, {report.shed:.1f} shed)")
+    print(f"recovery:  {report.failures} failure(s), "
+          f"{report.detections} detection(s), {report.reshards} "
+          f"re-shard(s) moving {report.resharded_inferences:.1f} inf "
+          f"in {report.recovery_seconds * 1e3:.3f} ms")
+    print(f"faults:    {report.link_retransmissions} link "
+          f"retransmission(s), {report.brownouts} brownout(s)")
+    print(f"energy:    {report.energy_joules:.3f} J")
+    if args.per_instance:
+        for outcome in report.per_instance:
+            print(f"  {outcome.instance_id:<10s} {outcome.backend:<16s} "
+                  f"alloc {outcome.allocated:7.2f}  "
+                  f"done {outcome.completed:7.2f}  "
+                  f"finish {outcome.finish_seconds * 1e3:8.3f} ms  "
+                  f"{outcome.final_state}"
+                  f"{'  [breaker open]' if outcome.breaker_open else ''}")
+    if args.trace_out:
+        data = write_chrome_trace(
+            tracer, args.trace_out,
+            metadata={"tool": "repro.cli fleet", "version": __version__,
+                      "scenario": report.scenario, "batch": report.batch,
+                      "seed": args.seed})
+        counts = validate_chrome_trace(data)
+        print(f"trace:     {counts['spans']} spans, "
+              f"{counts['instants']} instants, "
+              f"{counts['processes']} processes -> {args.trace_out} "
+              f"(open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -476,6 +581,49 @@ def build_parser() -> argparse.ArgumentParser:
                                   "processes (default $REPRO_SWEEP_WORKERS "
                                   "or 1)")
     reliability.set_defaults(handler=cmd_reliability)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet simulation: chaos scenarios over racks of instances")
+    fleet.add_argument("--scenario", default="rack_power_loss",
+                       help="chaos scenario name, 'none' (clean run), or "
+                            "'all' (the full campaign table)")
+    fleet.add_argument("--list", action="store_true",
+                       help="list chaos scenarios for this fleet and exit")
+    fleet.add_argument("--racks", type=int, default=2)
+    fleet.add_argument("--hosts-per-rack", type=int, default=2)
+    fleet.add_argument("--instances-per-host", type=int, default=4)
+    fleet.add_argument("--heterogeneous", action="store_true",
+                       help="mix calibrated A100/TPU baselines into the "
+                            "fleet as schedulable capacity")
+    fleet.add_argument("--hardware", default="BestPerf",
+                       help="ProSE configuration for prose-backed "
+                            "instances")
+    fleet.add_argument("--batch", type=int, default=256)
+    fleet.add_argument("--seq-len", type=int, default=128)
+    fleet.add_argument("--reference-batch", type=int, default=8,
+                       help="shard size used to calibrate backend rates")
+    fleet.add_argument("--seed", type=int, default=2022)
+    fleet.add_argument("--tiny", action="store_true",
+                       help="use the tiny model config (fast smoke runs)")
+    fleet.add_argument("--link-transient-rate", type=float, default=0.01,
+                       help="background fabric transient probability per "
+                            "dispatch")
+    fleet.add_argument("--min-capacity", type=float, default=0.25,
+                       help="brownout floor as a fraction of nominal "
+                            "capacity (0 disables load shedding)")
+    fleet.add_argument("--breaker-failures", type=int, default=3,
+                       help="hard failures before the circuit breaker "
+                            "quarantines an instance (0 disables)")
+    fleet.add_argument("--per-instance", action="store_true",
+                       help="print the per-instance outcome table")
+    fleet.add_argument("--trace-out", default=None,
+                       help="write the recovery timeline as a Perfetto "
+                            "trace")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="fan --scenario all out over N processes "
+                            "(default $REPRO_SWEEP_WORKERS or 1)")
+    fleet.set_defaults(handler=cmd_fleet)
 
     trace = sub.add_parser(
         "trace",

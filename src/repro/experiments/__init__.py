@@ -8,6 +8,7 @@ Each module exposes ``run(...)`` returning structured data and
 from . import (
     ablations,
     binding_study,
+    chaos_campaign,
     extensions,
     fault_campaign,
     figure01,
@@ -33,6 +34,7 @@ __all__ = [
     "EXPERIMENTS",
     "ablations",
     "binding_study",
+    "chaos_campaign",
     "extensions",
     "fault_campaign",
     "figure01",

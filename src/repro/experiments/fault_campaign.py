@@ -26,6 +26,7 @@ from ..reliability import (
     FaultRates,
     ReliabilityReport,
     RetryPolicy,
+    derive_task_seed,
 )
 from ..system.multi import ProSESystem, ReliableSystemReport
 from ..system.serving import CampaignSimulator
@@ -52,14 +53,16 @@ def _serving_report(payload: Tuple[float, int, BertConfig, Workload,
                                    RetryPolicy]) -> ReliabilityReport:
     """One fault-rate point of the sweep (module-level for pickling).
 
-    Each point builds its own seeded :class:`FaultModel`, so the result
-    for a rate is deterministic and independent of sweep order.
+    Each point builds its own :class:`FaultModel` whose seed is derived
+    from the *rate* itself, so the result for a point is a pure function
+    of what the point is — deterministic, independent of sweep order,
+    and bit-identical however the sweep is partitioned over workers.
     """
     rate, seed, config, workload, policy = payload
     fault_model = FaultModel(
         FaultRates(batch_failure=rate, straggler=rate,
                    link_transient=rate / 10.0),
-        seed=seed)
+        seed=derive_task_seed(seed, rate))
     simulator = CampaignSimulator(model_config=config, max_batch=8,
                                   fault_model=fault_model,
                                   retry_policy=policy)

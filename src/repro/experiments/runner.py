@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Tuple
 from . import (
     ablations,
     binding_study,
+    chaos_campaign,
     extensions,
     fault_campaign,
     numerics,
@@ -75,6 +76,8 @@ EXPERIMENTS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
      sensitivity.run, sensitivity.format_result),
     ("Reliability", "Fault-injection availability/goodput campaign",
      fault_campaign.run, fault_campaign.format_result),
+    ("Chaos", "Fleet chaos campaign: correlated failures and recovery",
+     chaos_campaign.run, chaos_campaign.format_result),
 )
 
 

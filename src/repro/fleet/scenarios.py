@@ -1,0 +1,186 @@
+"""Scripted correlated-failure scenarios for the chaos harness.
+
+Single-instance fault injection (PR 2's :class:`FaultModel`) exercises
+*independent* failures; the outages that actually take fleets down are
+correlated — every instance in a rack dies at the same instant, a
+switch uplink flaps for a window, one slow host silently stretches the
+whole campaign.  A :class:`ChaosScenario` is a deterministic script of
+such events, with times expressed as fractions of the nominal fleet
+makespan so one script scales across model sizes and fleet shapes.
+
+Scenario builders take the topology (so a script can say "the last host
+of every rack") and return frozen scripts; the registry maps the CLI
+names to builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .topology import FleetTopology, Instance
+
+#: Event actions understood by the fleet simulator.
+FAIL = "fail"
+RECOVER = "recover"
+DEGRADE = "degrade"
+UNDEGRADE = "undegrade"
+LINK_FLAP = "link_flap"
+
+ACTIONS = (FAIL, RECOVER, DEGRADE, UNDEGRADE, LINK_FLAP)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted event.
+
+    Attributes:
+        at_fraction: event time as a fraction of the nominal fleet
+            makespan (may exceed 1.0 — degraded runs stretch).
+        action: one of :data:`ACTIONS`.
+        target: ``"rack:R"``, ``"host:R/H"``, or ``"instance:ID"``.
+        factor: capacity multiplier for ``degrade``/``link_flap``.
+        duration_fraction: window length for ``link_flap``.
+    """
+
+    at_fraction: float
+    action: str
+    target: str
+    factor: float = 0.5
+    duration_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_fraction < 0:
+            raise ValueError("at_fraction must be non-negative")
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown chaos action '{self.action}'; "
+                             f"choose from {ACTIONS}")
+        if self.action in (DEGRADE, LINK_FLAP) and not 0 < self.factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        if self.action == LINK_FLAP and self.duration_fraction <= 0:
+            raise ValueError("link_flap needs a positive duration")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, ordered script of correlated failure events."""
+
+    name: str
+    description: str
+    events: Tuple[ChaosEvent, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(
+            self.events, key=lambda event: event.at_fraction))
+        object.__setattr__(self, "events", ordered)
+
+
+def resolve_target(topology: FleetTopology,
+                   target: str) -> Tuple[Instance, ...]:
+    """Expand a target string into the instances it names."""
+    kind, _, rest = target.partition(":")
+    if kind == "rack":
+        instances = topology.instances_of_rack(int(rest))
+    elif kind == "host":
+        rack, _, host = rest.partition("/")
+        instances = topology.instances_of_host(int(rack), int(host))
+    elif kind == "instance":
+        instances = (topology.by_id(rest),)
+    else:
+        raise ValueError(f"unknown chaos target '{target}'")
+    if not instances:
+        raise ValueError(f"chaos target '{target}' matches no instance")
+    return instances
+
+
+# -- scripted scenarios --------------------------------------------------
+
+def rack_power_loss(topology: FleetTopology) -> ChaosScenario:
+    """A whole rack loses power mid-campaign and never comes back.
+
+    The canonical correlated failure: every instance of the last rack
+    (never the coordinator's) dies at the same instant, and the
+    scheduler must re-shard the lost work onto the surviving racks.
+    """
+    if topology.racks < 2:
+        raise ValueError("rack_power_loss needs at least two racks")
+    victim = max(instance.rack for instance in topology.instances)
+    return ChaosScenario(
+        name="rack_power_loss",
+        description=f"rack {victim} loses power at 35% of nominal",
+        events=(ChaosEvent(at_fraction=0.35, action=FAIL,
+                           target=f"rack:{victim}"),))
+
+
+def link_flap_storm(topology: FleetTopology) -> ChaosScenario:
+    """Overlapping uplink flap windows roll across every host.
+
+    No instance dies; each host's effective bandwidth collapses for a
+    window while its uplink renegotiates, so the whole fleet limps.
+    """
+    events: List[ChaosEvent] = []
+    for index, host_id in enumerate(topology.host_ids()):
+        rack, _, host = host_id[1:].partition("h")
+        events.append(ChaosEvent(
+            at_fraction=0.15 + 0.1 * index, action=LINK_FLAP,
+            target=f"host:{rack}/{host}", factor=0.35,
+            duration_fraction=0.2))
+    return ChaosScenario(
+        name="link_flap_storm",
+        description="rolling uplink flap windows (65% loss) on every host",
+        events=tuple(events))
+
+
+def slow_node(topology: FleetTopology) -> ChaosScenario:
+    """One instance silently degrades to quarter speed and stays there.
+
+    The straggler that poisons fleets: nothing fails, the heartbeat
+    still answers, but every batch sharded onto the node finishes late
+    unless the scheduler discounts its capacity.
+    """
+    victim = topology.instances[-1]
+    return ChaosScenario(
+        name="slow_node",
+        description=f"{victim.instance_id} degrades to 25% at 15% of "
+                    f"nominal",
+        events=(ChaosEvent(at_fraction=0.15, action=DEGRADE,
+                           target=f"instance:{victim.instance_id}",
+                           factor=0.25),))
+
+
+def rolling_restart(topology: FleetTopology) -> ChaosScenario:
+    """Hosts are restarted one after another (a rolling deploy).
+
+    Each host dies for a short window, then recovers and warms back up;
+    the scheduler keeps draining work around the hole as it moves.
+    """
+    events: List[ChaosEvent] = []
+    for index, host_id in enumerate(topology.host_ids()):
+        rack, _, host = host_id[1:].partition("h")
+        start = 0.2 + 0.18 * index
+        events.append(ChaosEvent(at_fraction=start, action=FAIL,
+                                 target=f"host:{rack}/{host}"))
+        events.append(ChaosEvent(at_fraction=start + 0.12, action=RECOVER,
+                                 target=f"host:{rack}/{host}"))
+    return ChaosScenario(
+        name="rolling_restart",
+        description="hosts restarted in sequence (12% downtime each)",
+        events=tuple(events))
+
+
+#: CLI/experiment registry: name -> builder(topology).
+SCENARIO_BUILDERS: Dict[str, Callable[[FleetTopology], ChaosScenario]] = {
+    "rack_power_loss": rack_power_loss,
+    "link_flap_storm": link_flap_storm,
+    "slow_node": slow_node,
+    "rolling_restart": rolling_restart,
+}
+
+
+def build_scenario(name: str, topology: FleetTopology) -> ChaosScenario:
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(SCENARIO_BUILDERS)
+        raise KeyError(f"unknown chaos scenario '{name}'; choose from: "
+                       f"{known}")
+    return builder(topology)

@@ -1,0 +1,771 @@
+"""Deterministic fluid simulation of a chaos campaign over the fleet.
+
+Generalizes :class:`~repro.system.multi.ProSESystem` (four instances,
+one host, one failure class) to racks of heterogeneous hosts under
+*correlated* failure scripts.  The execution model is fluid: each
+instance drains its assigned inferences at its backend's calibrated
+rate times the health monitor's capacity factor, and the simulation
+advances from event to event (scripted chaos events, heartbeat
+detections, warm-up completions, shard completions) in deterministic
+order — no wall clock, no unordered containers, no hidden RNG state, so
+a seeded run is bit-reproducible and independent of host load or sweep
+worker count.
+
+The recovery pipeline mirrors production incident anatomy:
+
+1. an instance (or a whole rack) dies — its unfinished work is in
+   limbo;
+2. the heartbeat monitor notices after the missed-heartbeat window
+   (the *detection latency* every recovery timeline pays);
+3. the degradation-aware scheduler re-shards the lost work across the
+   surviving capacity, paying fabric-tier transfer costs — unless the
+   brownout floor triggers load-shedding, or too few survivors remain
+   (outage: work waits for a scripted recovery, or is dropped);
+4. survivors drain the extra work; the report's ``recovery_seconds``
+   runs from the first failure to the last re-sharded inference.
+
+Every phase is visible in the exported Perfetto trace: per-instance
+``shard``/``recovery_shard`` spans, ``detection_window`` spans, and
+instant events for failures, detections, re-shards, brownout sheds and
+breaker trips.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.gpu import A100_MEASURED_POWER_WATTS, a100
+from ..baselines.tpu import (
+    TPUV2_POWER_WATTS,
+    TPUV3_POWER_WATTS,
+    tpu_v2,
+    tpu_v3,
+)
+from ..model.config import BertConfig, protein_bert_base
+from ..parallel.memo import cached_schedule
+from ..physical.power import power_report
+from ..reliability.faults import FaultModel
+from ..reliability.policy import (
+    DegradationPolicy,
+    RetryPolicy,
+    validate_policy_interplay,
+)
+from ..sched.host import HOST_POWER_WATTS
+from ..telemetry import MetricsRegistry, Tracer
+from .health import HealthMonitor, HealthState, HeartbeatConfig
+from .scenarios import (
+    DEGRADE,
+    FAIL,
+    LINK_FLAP,
+    RECOVER,
+    UNDEGRADE,
+    ChaosScenario,
+    resolve_target,
+)
+from .scheduler import DegradationAwareScheduler, SharedPlan
+from .topology import (
+    GPU_A100,
+    PROSE,
+    TPU_V2,
+    FabricModel,
+    FleetTopology,
+    Instance,
+)
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One instance's campaign, as reported."""
+
+    instance_id: str
+    backend: str
+    allocated: float
+    completed: float
+    finish_seconds: float
+    final_state: str
+    breaker_open: bool = False
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """What a chaos campaign cost, fleet-wide.
+
+    Attributes:
+        scenario: chaos script name (``"none"`` for a clean run).
+        topology: human-readable fleet shape.
+        batch: inferences requested.
+        completed: inferences delivered (fluid — partial progress on a
+            later-killed instance counts for the part that streamed
+            back).
+        shed: inferences dropped by brownout load-shedding, outage, or
+            an unplaceable backlog.
+        makespan_seconds: end-to-end wall-clock of the campaign.
+        nominal_makespan_seconds: the same workload on a fully healthy
+            fleet — the availability reference.
+        reshards: re-shard assignments performed by the scheduler.
+        resharded_inferences: work moved by those re-shards.
+        recovery_seconds: first failure to last re-sharded completion;
+            0.0 when nothing failed (or nothing needed moving).
+        failures: hard instance failures observed.
+        detections: heartbeat detections that found lost work.
+        brownouts: plans made below the capacity floor.
+        link_retransmissions: fabric transfers repeated on transients.
+        energy_joules: accelerator busy-energy plus host power for the
+            full makespan.
+        per_instance: per-instance outcomes, topology order.
+        transitions: the health state-machine history.
+    """
+
+    scenario: str
+    topology: str
+    batch: int
+    completed: float
+    shed: float
+    makespan_seconds: float
+    nominal_makespan_seconds: float
+    reshards: int
+    resharded_inferences: float
+    recovery_seconds: float
+    failures: int
+    detections: int
+    brownouts: int
+    link_retransmissions: int
+    energy_joules: float
+    per_instance: Tuple[InstanceOutcome, ...]
+    transitions: Tuple[object, ...] = ()
+
+    @property
+    def goodput(self) -> float:
+        """Delivered inferences per second of degraded wall-clock."""
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.makespan_seconds
+
+    @property
+    def availability(self) -> float:
+        """Nominal over degraded makespan, capped at 1.0."""
+        if self.makespan_seconds <= 0.0:
+            return 1.0
+        return min(1.0, self.nominal_makespan_seconds
+                   / self.makespan_seconds)
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.completed / self.batch if self.batch else 1.0
+
+    def summary(self) -> str:
+        return (f"goodput={self.goodput:.1f} inf/s "
+                f"availability={self.availability:.4f} "
+                f"completed={self.completed:.1f}/{self.batch} "
+                f"shed={self.shed:.1f} reshards={self.reshards} "
+                f"recovery={self.recovery_seconds * 1e3:.3f} ms "
+                f"failures={self.failures} "
+                f"energy={self.energy_joules:.2f} J")
+
+
+@dataclass
+class _Sim:
+    """Mutable per-instance execution state."""
+
+    instance: Instance
+    rate: float                 # backend inferences/second at full health
+    power_watts: float
+    remaining: float = 0.0
+    segment_start: float = 0.0  # when the current constant-rate run began
+    eff_rate: float = 0.0       # rate x capacity factor for this segment
+    allocated: float = 0.0
+    completed: float = 0.0
+    active_seconds: float = 0.0
+    lost: float = 0.0           # in-limbo work awaiting detection
+    finish_seconds: float = 0.0
+    has_recovery_work: bool = False
+
+    @property
+    def running(self) -> bool:
+        return self.remaining > 0.0 and self.eff_rate > 0.0
+
+    @property
+    def projected_finish(self) -> float:
+        return self.segment_start + self.remaining / self.eff_rate
+
+
+class FleetSimulator:
+    """Runs one workload over a fleet under an optional chaos script.
+
+    Args:
+        topology: the fleet shape and backend mix.
+        model_config: the encoder scored fleet-wide (default
+            Protein-BERT-base).
+        policy: degradation policy — detection scale, outage floor,
+            brownout floor, shed fraction, circuit breaker.
+        retry_policy: serving-layer retry knobs; only validated here
+            (the interplay check of
+            :func:`~repro.reliability.validate_policy_interplay`), so
+            a config that would loop at the serving layer fails fast at
+            fleet-plan time.
+        heartbeat: heartbeat cadence and capacity discounts.
+        fabric: fabric tier bandwidths.
+        fault_model: seeded random-fault source layered *under* any
+            scripted scenario: spontaneous instance failures and
+            fabric transients.  Inert by default.
+        seq_len: tokens per inference.
+        reference_batch: shard size used to calibrate per-backend
+            rates (memoized through the shape-keyed schedule cache).
+    """
+
+    def __init__(self, topology: FleetTopology,
+                 model_config: Optional[BertConfig] = None,
+                 policy: Optional[DegradationPolicy] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 heartbeat: Optional[HeartbeatConfig] = None,
+                 fabric: Optional[FabricModel] = None,
+                 fault_model: Optional[FaultModel] = None,
+                 seq_len: int = 128,
+                 reference_batch: int = 8) -> None:
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        if reference_batch <= 0:
+            raise ValueError("reference_batch must be positive")
+        self.topology = topology
+        self.model_config = model_config or protein_bert_base()
+        self.policy = policy or DegradationPolicy()
+        self.retry_policy = retry_policy
+        self.heartbeat = heartbeat or HeartbeatConfig()
+        self.fabric = fabric or FabricModel()
+        self.fault_model = fault_model or FaultModel()
+        self.seq_len = seq_len
+        self.reference_batch = reference_batch
+        #: Tokens in (int32) plus the pooled embedding out (fp32).
+        self.payload_bytes = float(
+            4 * seq_len + 4 * self.model_config.hidden_size)
+        self._rate_cache: Dict[str, float] = {}
+        self._power_cache: Dict[str, float] = {}
+        rates = {instance.instance_id: self._backend_rate(instance)
+                 for instance in topology.instances}
+        self.scheduler = DegradationAwareScheduler(
+            topology, rates, self.fabric, self.policy, self.payload_bytes)
+
+    # -- backend calibration --------------------------------------------
+
+    def _backend_rate(self, instance: Instance) -> float:
+        """Nominal inferences/second of one instance's backend."""
+        spec = instance.backend
+        key = spec.label
+        if key in self._rate_cache:
+            return self._rate_cache[key]
+        if spec.kind == PROSE:
+            schedule = cached_schedule(
+                spec.hardware, self.model_config,
+                batch=self.reference_batch, seq_len=self.seq_len)
+            rate = self.reference_batch / schedule.makespan_seconds
+            power = power_report(spec.hardware).accelerator_power_w
+        else:
+            device = {GPU_A100: a100, TPU_V2: tpu_v2}.get(spec.kind,
+                                                          tpu_v3)()
+            rate = device.throughput(self.model_config,
+                                     batch=self.reference_batch,
+                                     seq_len=self.seq_len)
+            power = {GPU_A100: A100_MEASURED_POWER_WATTS,
+                     TPU_V2: TPUV2_POWER_WATTS}.get(spec.kind,
+                                                    TPUV3_POWER_WATTS)
+        self._rate_cache[key] = rate
+        self._power_cache[key] = power
+        return rate
+
+    def _backend_power(self, instance: Instance) -> float:
+        self._backend_rate(instance)
+        return self._power_cache[instance.backend.label]
+
+    # -- nominal schedule ------------------------------------------------
+
+    def nominal_plan(self, batch: int) -> SharedPlan:
+        """The full-health shard plan (the homogeneous reference)."""
+        monitor = HealthMonitor(
+            [inst.instance_id for inst in self.topology.instances],
+            heartbeat=self.heartbeat)
+        plan = self.scheduler.plan(float(batch), monitor)
+        assert plan is not None  # a fresh monitor always has capacity
+        return plan
+
+    def nominal_makespan(self, batch: int) -> float:
+        """Fleet makespan of the nominal plan on a healthy fleet."""
+        plan = self.nominal_plan(batch)
+        rates = self.scheduler.rates
+        return max(
+            assignment.dispatch_seconds
+            + assignment.amount / rates[assignment.instance_id]
+            for assignment in plan.assignments)
+
+    # -- simulation ------------------------------------------------------
+
+    def run(self, batch: int = 256,
+            scenario: Optional[ChaosScenario] = None,
+            tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None) -> FleetReport:
+        """Simulate ``batch`` inferences under the chaos script.
+
+        With no scenario and an inert fault model the event loop
+        processes only shard completions, and every per-instance finish
+        reproduces the nominal plan bit-identically.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        self.fault_model.reset()
+        nominal = self.nominal_makespan(batch)
+        if self.retry_policy is not None:
+            validate_policy_interplay(self.retry_policy, self.policy,
+                                      nominal)
+        monitor = HealthMonitor(
+            [inst.instance_id for inst in self.topology.instances],
+            heartbeat=self.heartbeat,
+            circuit_breaker_failures=self.policy.circuit_breaker_failures,
+            tracer=tracer, span_target=self._span_target)
+        states: Dict[str, _Sim] = {}
+        for instance in self.topology.instances:
+            states[instance.instance_id] = _Sim(
+                instance=instance, rate=self._backend_rate(instance),
+                power_watts=self._backend_power(instance))
+
+        counters = _Counters()
+        events = _EventQueue()
+        for event in (scenario.events if scenario is not None else ()):
+            for instance in resolve_target(self.topology, event.target):
+                events.push(event.at_fraction * nominal, event.action,
+                            instance.instance_id, event)
+        spontaneous = self.fault_model.failed_instances(
+            len(self.topology.instances))
+        for index in spontaneous:
+            instance = self.topology.instances[index]
+            at = self.fault_model.failure_fraction() * nominal
+            events.push(at, FAIL, instance.instance_id, None)
+
+        # Initial dispatch: the nominal plan, since everyone is healthy.
+        plan = self.nominal_plan(batch)
+        for assignment in plan.assignments:
+            state = states[assignment.instance_id]
+            dispatch = assignment.dispatch_seconds
+            dispatch += self._link_retry_seconds(state, assignment.amount,
+                                                counters)
+            state.allocated = assignment.amount
+            state.remaining = assignment.amount
+            state.segment_start = dispatch
+            state.eff_rate = state.rate * monitor.capacity_factor(
+                assignment.instance_id)
+            if tracer is not None:
+                pid, tid = self._span_target(assignment.instance_id)
+                tracer.add_span(
+                    "dispatch", 0.0, dispatch, pid=pid, tid=tid,
+                    category="fabric",
+                    tier=self.topology.tier_of(state.instance).value,
+                    amount=assignment.amount)
+
+        self._event_loop(states, monitor, events, nominal, counters,
+                         tracer)
+
+        makespan = max((state.finish_seconds for state in states.values()),
+                       default=0.0)
+        completed = sum(state.completed for state in states.values())
+        recovery_seconds = 0.0
+        if counters.first_failure is not None and counters.reshards:
+            recovery_seconds = max(
+                0.0, counters.last_recovery_finish - counters.first_failure)
+        energy = HOST_POWER_WATTS * self.topology.hosts * makespan
+        for state in states.values():
+            energy += state.power_watts * state.active_seconds
+        outcomes = tuple(
+            InstanceOutcome(
+                instance_id=instance_id, backend=state.instance.backend.label,
+                allocated=state.allocated, completed=state.completed,
+                finish_seconds=state.finish_seconds,
+                final_state=monitor.state(instance_id).value,
+                breaker_open=monitor.breaker_open(instance_id))
+            for instance_id, state in states.items())
+        report = FleetReport(
+            scenario=scenario.name if scenario is not None else "none",
+            topology=self.topology.describe(), batch=batch,
+            completed=completed, shed=counters.shed,
+            makespan_seconds=makespan, nominal_makespan_seconds=nominal,
+            reshards=counters.reshards,
+            resharded_inferences=counters.resharded,
+            recovery_seconds=recovery_seconds,
+            failures=counters.failures, detections=counters.detections,
+            brownouts=counters.brownouts,
+            link_retransmissions=counters.retransmissions,
+            energy_joules=energy, per_instance=outcomes,
+            transitions=tuple(monitor.transitions))
+        self._emit_summary(report, states, monitor, tracer, metrics)
+        return report
+
+    # -- event loop ------------------------------------------------------
+
+    def _event_loop(self, states: Dict[str, _Sim],
+                    monitor: HealthMonitor, events: "_EventQueue",
+                    nominal: float, counters: "_Counters",
+                    tracer: Optional[Tracer]) -> None:
+        detection = self.heartbeat.detection_seconds(nominal)
+        warmup = self.heartbeat.warmup_seconds(nominal)
+        while True:
+            next_finish = min(
+                (state.projected_finish for state in states.values()
+                 if state.running), default=None)
+            next_event = events.peek_time()
+            if next_finish is None and next_event is None:
+                break
+            if next_event is None or (next_finish is not None
+                                      and next_finish <= next_event):
+                self._complete_at(next_finish, states, counters, tracer)
+                continue
+            for action, instance_id, payload in events.pop_at(next_event):
+                t = next_event
+                if action == FAIL:
+                    self._on_fail(t, instance_id, states, monitor, events,
+                                  detection, counters, tracer,
+                                  scripted=payload is not None)
+                elif action == "detect":
+                    self._on_detect(t, payload, states, monitor, events,
+                                    counters, tracer)
+                elif action == RECOVER:
+                    self._on_recover(t, instance_id, states, monitor,
+                                     events, warmup, counters, tracer)
+                elif action == "warmup_done":
+                    self._on_warmup_done(t, instance_id, states, monitor)
+                elif action == DEGRADE:
+                    self._on_degrade(t, instance_id, states, monitor,
+                                     payload.factor, reason="scripted")
+                elif action == UNDEGRADE:
+                    self._on_undegrade(t, instance_id, states, monitor)
+                elif action == LINK_FLAP:
+                    self._on_flap(t, instance_id, states, monitor, events,
+                                  payload, nominal, tracer)
+                elif action == "flap_end":
+                    self._on_flap_end(t, instance_id, states, monitor,
+                                      tracer)
+        # Anything still waiting for capacity that never returned is lost.
+        backlog = counters.backlog
+        if backlog > 0.0:
+            counters.shed += backlog
+            counters.backlog = 0.0
+
+    # -- handlers --------------------------------------------------------
+
+    def _span_target(self, instance_id: str) -> Tuple[str, str]:
+        instance = self.topology.by_id(instance_id)
+        return instance.host_id, f"s{instance.slot}"
+
+    def _link_retry_seconds(self, state: _Sim, amount: float,
+                            counters: "_Counters") -> float:
+        """Fabric retransmission delay drawn from the fault model."""
+        if self.fault_model.rates.link_transient <= 0.0:
+            return 0.0
+        errors = self.fault_model.link_transients(int(amount))
+        if not errors:
+            return 0.0
+        counters.retransmissions += errors
+        tier = self.topology.tier_of(state.instance)
+        return errors * self.fabric.transfer_seconds(self.payload_bytes,
+                                                     tier)
+
+    def _progress(self, state: _Sim, t: float) -> None:
+        """Fold the current constant-rate segment forward to ``t``."""
+        if state.remaining <= 0.0 or state.eff_rate <= 0.0:
+            state.segment_start = max(state.segment_start, t)
+            return
+        if t <= state.segment_start:
+            return
+        dt = t - state.segment_start
+        done = min(state.remaining, state.eff_rate * dt)
+        state.remaining -= done
+        state.completed += done
+        state.active_seconds += dt
+        state.segment_start = t
+
+    def _close_segment(self, state: _Sim, t: float,
+                       tracer: Optional[Tracer], category: str) -> None:
+        """Progress to ``t`` and emit the execution span just finished."""
+        start = state.segment_start
+        self._progress(state, t)
+        if tracer is not None and t > start:
+            pid, tid = self._span_target(state.instance.instance_id)
+            tracer.add_span(
+                "recovery_shard" if category == "recovery" else "shard",
+                start, t, pid=pid, tid=tid, category=category,
+                rate=state.eff_rate)
+
+    def _refresh_rate(self, state: _Sim, monitor: HealthMonitor) -> None:
+        state.eff_rate = state.rate * monitor.capacity_factor(
+            state.instance.instance_id)
+
+    def _complete_at(self, t: float, states: Dict[str, _Sim],
+                     counters: "_Counters",
+                     tracer: Optional[Tracer]) -> None:
+        for state in states.values():
+            if state.running and state.projected_finish == t:
+                category = ("recovery" if state.has_recovery_work
+                            else "shard")
+                self._close_segment(state, t, tracer, category)
+                state.remaining = 0.0
+                state.finish_seconds = t
+                if state.has_recovery_work:
+                    counters.last_recovery_finish = max(
+                        counters.last_recovery_finish, t)
+
+    def _on_fail(self, t: float, instance_id: str,
+                 states: Dict[str, _Sim], monitor: HealthMonitor,
+                 events: "_EventQueue", detection: float,
+                 counters: "_Counters", tracer: Optional[Tracer],
+                 scripted: bool) -> None:
+        if monitor.state(instance_id) is HealthState.DEAD:
+            return
+        state = states[instance_id]
+        self._close_segment(state, t, tracer,
+                            "recovery" if state.has_recovery_work
+                            else "shard")
+        state.lost = state.remaining
+        state.remaining = 0.0
+        state.eff_rate = 0.0
+        state.finish_seconds = max(state.finish_seconds, t)
+        monitor.transition(instance_id, HealthState.DEAD, t,
+                           reason="scripted" if scripted else "spontaneous")
+        counters.failures += 1
+        if counters.first_failure is None:
+            counters.first_failure = t
+        events.push(t + detection, "detect", instance_id, instance_id)
+        if tracer is not None:
+            pid, tid = self._span_target(instance_id)
+            tracer.instant("instance_failure", t, pid=pid, tid=tid,
+                           category="fault", lost=state.lost)
+            tracer.add_span("detection_window", t, t + detection, pid=pid,
+                            tid=tid, category="fault")
+
+    def _on_detect(self, t: float, instance_id: str,
+                   states: Dict[str, _Sim], monitor: HealthMonitor,
+                   events: "_EventQueue", counters: "_Counters",
+                   tracer: Optional[Tracer]) -> None:
+        state = states[instance_id]
+        lost, state.lost = state.lost, 0.0
+        if tracer is not None:
+            tracer.instant("failure_detected", t, pid="fleet",
+                           tid="scheduler", category="fault",
+                           instance=instance_id, lost=lost)
+        if lost <= 0.0:
+            return
+        counters.detections += 1
+        self._reshard(t, lost, states, monitor, events, counters, tracer,
+                      exclude=(instance_id,))
+
+    def _reshard(self, t: float, work: float, states: Dict[str, _Sim],
+                 monitor: HealthMonitor, events: "_EventQueue",
+                 counters: "_Counters", tracer: Optional[Tracer],
+                 exclude: Tuple[str, ...] = ()) -> None:
+        if monitor.alive_count() < self.policy.min_survivors:
+            counters.backlog += work
+            if tracer is not None:
+                tracer.instant("outage", t, pid="fleet", tid="scheduler",
+                               category="fault", backlog=work)
+            return
+        plan = self.scheduler.plan(work, monitor, exclude=exclude,
+                                   integral=False)
+        if plan is None or not plan.assignments:
+            counters.backlog += work
+            return
+        if plan.brownout:
+            counters.brownouts += 1
+            counters.shed += plan.shed
+            if tracer is not None:
+                tracer.instant(
+                    "brownout_shed", t, pid="fleet", tid="scheduler",
+                    category="fault", shed=plan.shed,
+                    capacity_fraction=plan.capacity_fraction)
+        counters.reshards += len(plan.assignments)
+        counters.resharded += plan.total
+        if tracer is not None:
+            tracer.instant("reshard", t, pid="fleet", tid="scheduler",
+                           category="recovery", work=plan.total,
+                           targets=len(plan.assignments))
+        for assignment in plan.assignments:
+            target = states[assignment.instance_id]
+            target.has_recovery_work = True
+            target.allocated += assignment.amount
+            if target.running:
+                # Transfer overlaps the work already draining.
+                self._progress(target, t)
+                target.remaining += assignment.amount
+            else:
+                dispatch = assignment.dispatch_seconds
+                dispatch += self._link_retry_seconds(
+                    target, assignment.amount, counters)
+                target.remaining = assignment.amount
+                target.segment_start = t + dispatch
+                self._refresh_rate(target, monitor)
+                if tracer is not None:
+                    pid, tid = self._span_target(assignment.instance_id)
+                    tracer.add_span(
+                        "dispatch", t, t + dispatch, pid=pid, tid=tid,
+                        category="fabric", amount=assignment.amount,
+                        tier=self.topology.tier_of(
+                            target.instance).value)
+
+    def _on_recover(self, t: float, instance_id: str,
+                    states: Dict[str, _Sim], monitor: HealthMonitor,
+                    events: "_EventQueue", warmup: float,
+                    counters: "_Counters",
+                    tracer: Optional[Tracer]) -> None:
+        if monitor.state(instance_id) is not HealthState.DEAD:
+            return
+        monitor.transition(instance_id, HealthState.RECOVERING, t,
+                           reason="restart")
+        events.push(t + warmup, "warmup_done", instance_id, None)
+        state = states[instance_id]
+        self._refresh_rate(state, monitor)
+        if counters.backlog > 0.0:
+            backlog, counters.backlog = counters.backlog, 0.0
+            self._reshard(t, backlog, states, monitor, events, counters,
+                          tracer)
+
+    def _on_warmup_done(self, t: float, instance_id: str,
+                        states: Dict[str, _Sim],
+                        monitor: HealthMonitor) -> None:
+        if monitor.state(instance_id) is not HealthState.RECOVERING:
+            return
+        state = states[instance_id]
+        self._progress(state, t)
+        monitor.transition(instance_id, HealthState.HEALTHY, t,
+                           reason="warmup_complete")
+        self._refresh_rate(state, monitor)
+
+    def _on_degrade(self, t: float, instance_id: str,
+                    states: Dict[str, _Sim], monitor: HealthMonitor,
+                    factor: float, reason: str) -> None:
+        if monitor.state(instance_id) not in (HealthState.HEALTHY,
+                                              HealthState.DEGRADED):
+            return
+        state = states[instance_id]
+        self._progress(state, t)
+        monitor.transition(instance_id, HealthState.DEGRADED, t,
+                           reason=reason, degraded_factor=factor)
+        self._refresh_rate(state, monitor)
+
+    def _on_undegrade(self, t: float, instance_id: str,
+                      states: Dict[str, _Sim],
+                      monitor: HealthMonitor) -> None:
+        if monitor.state(instance_id) is not HealthState.DEGRADED:
+            return
+        state = states[instance_id]
+        self._progress(state, t)
+        monitor.transition(instance_id, HealthState.HEALTHY, t,
+                           reason="undegrade")
+        self._refresh_rate(state, monitor)
+
+    def _on_flap(self, t: float, instance_id: str,
+                 states: Dict[str, _Sim], monitor: HealthMonitor,
+                 events: "_EventQueue", event, nominal: float,
+                 tracer: Optional[Tracer]) -> None:
+        state = states[instance_id]
+        self._progress(state, t)
+        monitor.set_link_factor(instance_id, event.factor)
+        if monitor.state(instance_id) is HealthState.HEALTHY:
+            # The flap shows as degraded health; capacity loss comes
+            # from the link factor alone (degraded_factor=1.0).
+            monitor.transition(instance_id, HealthState.DEGRADED, t,
+                               reason="link_flap", degraded_factor=1.0)
+        self._refresh_rate(state, monitor)
+        events.push(t + event.duration_fraction * nominal, "flap_end",
+                    instance_id, None)
+        if tracer is not None:
+            pid, tid = self._span_target(instance_id)
+            tracer.add_span(
+                "link_flap", t, t + event.duration_fraction * nominal,
+                pid=pid, tid=tid, category="fault", factor=event.factor)
+
+    def _on_flap_end(self, t: float, instance_id: str,
+                     states: Dict[str, _Sim], monitor: HealthMonitor,
+                     tracer: Optional[Tracer]) -> None:
+        state = states[instance_id]
+        self._progress(state, t)
+        monitor.set_link_factor(instance_id, 1.0)
+        if monitor.state(instance_id) is HealthState.DEGRADED:
+            last = monitor.transitions_of(instance_id)[-1]
+            if last.reason == "link_flap":
+                monitor.transition(instance_id, HealthState.HEALTHY, t,
+                                   reason="link_flap_cleared")
+        self._refresh_rate(state, monitor)
+
+    # -- reporting -------------------------------------------------------
+
+    def _emit_summary(self, report: FleetReport, states: Dict[str, _Sim],
+                      monitor: HealthMonitor, tracer: Optional[Tracer],
+                      metrics: Optional[MetricsRegistry]) -> None:
+        if tracer is not None:
+            tracer.add_span(
+                "fleet_campaign", 0.0, report.makespan_seconds,
+                pid="fleet", tid="overview", category="fleet",
+                scenario=report.scenario, batch=report.batch,
+                goodput=report.goodput, reshards=report.reshards)
+            for instance_id in monitor.open_breakers():
+                pid, tid = self._span_target(instance_id)
+                tracer.instant("breaker_open", report.makespan_seconds,
+                               pid=pid, tid=tid, category="fault")
+        if metrics is None:
+            return
+        metrics.counter("fleet/completed").inc(report.completed)
+        metrics.counter("fleet/shed").inc(report.shed)
+        metrics.counter("fleet/reshards").inc(report.reshards)
+        metrics.counter("fleet/failures").inc(report.failures)
+        metrics.counter("fleet/detections").inc(report.detections)
+        metrics.counter("fleet/brownouts").inc(report.brownouts)
+        metrics.counter("fleet/link_retransmissions").inc(
+            report.link_retransmissions)
+        metrics.gauge("fleet/goodput").set(report.goodput)
+        metrics.gauge("fleet/availability").set(report.availability)
+        metrics.gauge("fleet/recovery_seconds").set(
+            report.recovery_seconds)
+        metrics.gauge("fleet/makespan_seconds").set(
+            report.makespan_seconds)
+        metrics.gauge("fleet/energy_joules").set(report.energy_joules)
+        histogram = metrics.histogram("fleet/instance_finish_seconds")
+        for state in states.values():
+            if state.finish_seconds > 0.0:
+                histogram.observe(state.finish_seconds)
+
+
+@dataclass
+class _Counters:
+    """Run-wide mutable accounting shared by the handlers."""
+
+    failures: int = 0
+    detections: int = 0
+    reshards: int = 0
+    resharded: float = 0.0
+    brownouts: int = 0
+    retransmissions: int = 0
+    shed: float = 0.0
+    backlog: float = 0.0
+    first_failure: Optional[float] = None
+    last_recovery_finish: float = 0.0
+
+
+class _EventQueue:
+    """Deterministic time-ordered queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, str, object]] = []
+        self._seq = 0
+
+    def push(self, time: float, action: str, instance_id: str,
+             payload: object) -> None:
+        heapq.heappush(self._heap,
+                       (time, self._seq, action, instance_id, payload))
+        self._seq += 1
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop_at(self, time: float) -> List[Tuple[str, str, object]]:
+        """All events scheduled exactly at ``time``, in push order."""
+        batch = []
+        while self._heap and self._heap[0][0] == time:
+            _, _, action, instance_id, payload = heapq.heappop(self._heap)
+            batch.append((action, instance_id, payload))
+        return batch

@@ -22,8 +22,8 @@ from .abft import (
     detect_corrupted_columns,
     detection_threshold,
 )
-from .faults import FaultModel, FaultRates, FaultStats
-from .policy import DegradationPolicy, RetryPolicy
+from .faults import FaultModel, FaultRates, FaultStats, derive_task_seed
+from .policy import DegradationPolicy, RetryPolicy, validate_policy_interplay
 from .report import ReliabilityReport
 
 __all__ = [
@@ -35,6 +35,8 @@ __all__ = [
     "ReliabilityReport",
     "RetryPolicy",
     "checksum_row",
+    "derive_task_seed",
     "detect_corrupted_columns",
     "detection_threshold",
+    "validate_policy_interplay",
 ]

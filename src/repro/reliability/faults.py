@@ -21,6 +21,7 @@ with nonlinear functions), so LUT flips are always silent.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -30,6 +31,26 @@ from .abft import detect_corrupted_columns
 
 #: Substream labels — each gets an independent RNG child stream.
 _STREAMS = ("compute", "link", "instance", "serving")
+
+
+def derive_task_seed(root_seed: int, *key_parts: object) -> int:
+    """A per-task seed derived from the task's identity, not RNG state.
+
+    Campaign sweeps fan tasks out over worker processes; any task seed
+    that depends on *draw order* (e.g. successive calls on a shared
+    generator) silently changes with the worker count.  Hashing the
+    root seed together with the task key instead makes each task's
+    fault sequence a pure function of *what* the task is — bit-identical
+    at ``workers=1`` and ``workers=N``, stable under reordering, and
+    decorrelated between tasks that share a root seed.
+
+    Uses SHA-256 of the ``repr`` of the parts (never Python's ``hash``,
+    which is salted per process for strings), truncated to 63 bits so
+    the result is a valid ``numpy`` seed everywhere.
+    """
+    text = repr((int(root_seed),) + tuple(key_parts))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & (2 ** 63 - 1)
 
 
 @dataclass(frozen=True)

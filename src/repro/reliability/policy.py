@@ -64,17 +64,83 @@ class DegradationPolicy:
             learns of the failure after a missed heartbeat window).
         min_survivors: below this many healthy instances the system
             declares an outage and restarts everything from scratch.
+        min_capacity_fraction: the brownout floor — when the fleet's
+            schedulable capacity drops below this fraction of nominal,
+            the scheduler load-sheds rather than queueing re-sharded
+            work onto the remnant (0.0 disables shedding).
+        shed_fraction: fraction of re-sharded work dropped per brownout
+            trigger.
+        circuit_breaker_failures: hard failures after which a flapping
+            instance is quarantined from scheduling even once it
+            reports healthy again (0 disables the breaker).
     """
 
     detection_fraction: float = 0.1
     min_survivors: int = 1
+    min_capacity_fraction: float = 0.0
+    shed_fraction: float = 0.5
+    circuit_breaker_failures: int = 0
 
     def __post_init__(self) -> None:
         if self.detection_fraction < 0:
             raise ValueError("detection_fraction must be non-negative")
         if self.min_survivors < 1:
             raise ValueError("min_survivors must be at least 1")
+        if not 0.0 <= self.min_capacity_fraction <= 1.0:
+            raise ValueError("min_capacity_fraction must be in [0, 1]")
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in [0, 1]")
+        if self.circuit_breaker_failures < 0:
+            raise ValueError("circuit_breaker_failures must be "
+                             "non-negative")
 
     def detection_seconds(self, shard_makespan: float) -> float:
         """Time between an instance dying and the host noticing."""
         return self.detection_fraction * shard_makespan
+
+
+def validate_policy_interplay(retry: RetryPolicy,
+                              degradation: DegradationPolicy,
+                              nominal_seconds: float) -> None:
+    """Reject retry/degradation combinations that cannot make progress.
+
+    Both policies quote times against the *nominal* makespan of the
+    work they govern, so contradictions only become visible once that
+    scale is known.  Two are rejected:
+
+    * a straggler deadline shorter than the first backoff step — the
+      serving layer would kill every straggler, back off for longer
+      than the deadline it just enforced, and loop without the retry
+      ever being cheaper than the wait it replaced;
+    * a failure-detection window longer than the straggler deadline —
+      dead instances would be "detected" only after the straggler
+      logic has already killed and rerun their batches, so every hard
+      failure is double-charged.
+
+    Raises:
+        ValueError: naming the offending knobs and the nominal scale.
+    """
+    if nominal_seconds <= 0:
+        raise ValueError(f"nominal_seconds must be positive, "
+                         f"got {nominal_seconds}")
+    deadline = retry.straggler_deadline_multiple * nominal_seconds
+    first_backoff = retry.backoff_seconds(0)
+    if deadline < first_backoff:
+        raise ValueError(
+            f"straggler deadline ({deadline:.6g}s = "
+            f"{retry.straggler_deadline_multiple}x nominal "
+            f"{nominal_seconds:.6g}s) is shorter than the first backoff "
+            f"step ({first_backoff:.6g}s): every straggler kill would be "
+            f"followed by a backoff longer than the deadline it "
+            f"enforced, retrying forever without progress; lower "
+            f"backoff_base_seconds or raise "
+            f"straggler_deadline_multiple")
+    detection = degradation.detection_seconds(nominal_seconds)
+    if detection > deadline:
+        raise ValueError(
+            f"failure detection window ({detection:.6g}s = "
+            f"{degradation.detection_fraction}x nominal "
+            f"{nominal_seconds:.6g}s) exceeds the straggler deadline "
+            f"({deadline:.6g}s): hard failures would be handled twice "
+            f"(straggler kill, then detection); lower "
+            f"detection_fraction or raise straggler_deadline_multiple")

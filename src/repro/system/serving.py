@@ -20,7 +20,11 @@ from ..parallel.memo import cached_schedule
 from ..physical.power import power_report
 from ..proteins.workloads import Workload, bucket_batches
 from ..reliability.faults import FaultModel
-from ..reliability.policy import RetryPolicy
+from ..reliability.policy import (
+    DegradationPolicy,
+    RetryPolicy,
+    validate_policy_interplay,
+)
 from ..reliability.report import ReliabilityReport
 from ..sched.orchestrator import ScheduleResult
 from ..telemetry import MetricsRegistry, Tracer
@@ -82,6 +86,10 @@ class CampaignSimulator:
             is attached to the campaign report.
         retry_policy: backoff/deadline knobs; defaults apply when a
             fault model is given without a policy.
+        degradation_policy: detection-window knobs checked against the
+            retry policy (see
+            :func:`~repro.reliability.validate_policy_interplay`) before
+            any faulty batch runs; defaults when omitted.
     """
 
     def __init__(self, model_config: Optional[BertConfig] = None,
@@ -89,13 +97,16 @@ class CampaignSimulator:
                  buckets: Sequence[int] = DEFAULT_BUCKETS,
                  max_batch: int = 64,
                  fault_model: Optional[FaultModel] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 degradation_policy: Optional[DegradationPolicy] = None
+                 ) -> None:
         self.model_config = model_config or protein_bert_base()
         self.hardware = hardware or best_perf()
         self.buckets = tuple(buckets)
         self.max_batch = max_batch
         self.fault_model = fault_model
         self.retry_policy = retry_policy or RetryPolicy()
+        self.degradation_policy = degradation_policy or DegradationPolicy()
         self._prose_power = power_report(self.hardware).system_power_w
 
     def _batches(self, workload: Workload) -> List[Tuple[int, int]]:
@@ -147,6 +158,13 @@ class CampaignSimulator:
         for index, (length, batch) in enumerate(self._batches(workload)):
             schedule = self._schedule(length, batch)
             nominal = schedule.makespan_seconds
+            if faulty:
+                # Fail fast on knob combinations that could never make
+                # progress at this batch's time scale (e.g. a straggler
+                # deadline shorter than the first backoff step), instead
+                # of silently retrying forever below.
+                validate_policy_interplay(policy, self.degradation_policy,
+                                          nominal)
             padded_tokens += length * batch
             batch_start = total_seconds
             batch_name = f"batch{index}[len={length} n={batch}]"

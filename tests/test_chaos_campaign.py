@@ -1,0 +1,53 @@
+"""Tests for the chaos campaign experiment and its sweep determinism."""
+
+import pytest
+
+from repro.experiments import chaos_campaign
+from repro.fleet import SCENARIO_BUILDERS
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return chaos_campaign.run(batch=64, workers=1)
+
+
+class TestChaosCampaign:
+    def test_covers_baseline_and_every_scenario(self, campaign):
+        assert campaign.scenarios[0] == chaos_campaign.BASELINE
+        assert set(campaign.scenarios[1:]) == set(SCENARIO_BUILDERS)
+        assert len(campaign.reports) == len(campaign.scenarios)
+
+    def test_baseline_is_clean(self, campaign):
+        baseline = campaign.reports[0]
+        assert baseline.failures == 0
+        assert baseline.reshards == 0
+        assert baseline.availability == 1.0
+        assert baseline.completed == 64.0
+
+    def test_every_scenario_keeps_goodput_positive(self, campaign):
+        for name, report in zip(campaign.scenarios, campaign.reports):
+            assert report.goodput > 0.0, name
+            assert report.completed > 0.0, name
+
+    def test_chaos_costs_availability(self, campaign):
+        by_name = dict(zip(campaign.scenarios, campaign.reports))
+        assert by_name["rack_power_loss"].availability < 1.0
+        assert by_name["rack_power_loss"].reshards > 0
+        assert by_name["rack_power_loss"].recovery_seconds > 0.0
+
+    def test_bit_identical_across_worker_counts(self, campaign):
+        parallel = chaos_campaign.run(batch=64, workers=4)
+        assert parallel == campaign
+
+    def test_format_lists_every_scenario(self, campaign):
+        text = chaos_campaign.format_result(campaign)
+        for name in campaign.scenarios:
+            assert name in text
+        assert "goodput" in text and "reshards" in text
+
+    def test_heterogeneous_fleet_campaign(self):
+        result = chaos_campaign.run(batch=48, heterogeneous=True,
+                                    workers=1)
+        assert "a100" in result.topology
+        for report in result.reports:
+            assert report.completed > 0.0

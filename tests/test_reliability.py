@@ -218,7 +218,9 @@ class TestServingRetries:
         report = CampaignSimulator(
             model_config=SERVING_CONFIG, max_batch=8,
             fault_model=fault_model,
-            retry_policy=RetryPolicy(max_retries=5)).run_on_prose(workload)
+            retry_policy=RetryPolicy(
+                max_retries=5, backoff_base_seconds=0.0005,
+                backoff_cap_seconds=0.01)).run_on_prose(workload)
         reliability = report.reliability
         assert reliability is not None
         assert reliability.retries > 0
@@ -236,8 +238,10 @@ class TestServingRetries:
         report = CampaignSimulator(
             model_config=SERVING_CONFIG, max_batch=8,
             fault_model=fault_model,
-            retry_policy=RetryPolicy(straggler_deadline_multiple=2.0)
-        ).run_on_prose(workload)
+            retry_policy=RetryPolicy(
+                straggler_deadline_multiple=2.0,
+                backoff_base_seconds=0.0005,
+                backoff_cap_seconds=0.01)).run_on_prose(workload)
         assert report.reliability.stragglers > 0
         assert report.reliability.retries >= report.reliability.stragglers
 
@@ -247,7 +251,10 @@ class TestServingRetries:
                 FaultRates(batch_failure=0.3, straggler=0.2), seed=10)
             return CampaignSimulator(
                 model_config=SERVING_CONFIG, max_batch=8,
-                fault_model=fault_model).run_on_prose(workload)
+                fault_model=fault_model,
+                retry_policy=RetryPolicy(
+                    backoff_base_seconds=0.0005,
+                    backoff_cap_seconds=0.01)).run_on_prose(workload)
 
         assert run().reliability == run().reliability
 
@@ -313,3 +320,177 @@ class TestSatelliteGuards:
     def test_system_rejects_nonsense_seq_len(self):
         with pytest.raises(ValueError, match="seq_len"):
             ProSESystem(instances=2).simulate(TINY, batch=4, seq_len=0)
+
+
+class TestDeriveTaskSeed:
+    def test_pure_function_of_key(self):
+        from repro.reliability import derive_task_seed
+
+        assert derive_task_seed(7, 0.05) == derive_task_seed(7, 0.05)
+        assert derive_task_seed(7, 0.05) != derive_task_seed(8, 0.05)
+        assert derive_task_seed(7, 0.05) != derive_task_seed(7, 0.06)
+        assert derive_task_seed(7, "a") != derive_task_seed(7, "b")
+
+    def test_valid_numpy_seed_range(self):
+        from repro.reliability import derive_task_seed
+
+        for key in (0.0, 1e-9, "rack_power_loss", (1, 2)):
+            seed = derive_task_seed(2022, key)
+            assert 0 <= seed < 2 ** 63
+            FaultModel(seed=seed)  # accepted by the RNG constructor
+
+    def test_decorrelates_fault_sequences(self):
+        from repro.reliability import derive_task_seed
+
+        draws = []
+        for rate in (0.1, 0.2):
+            model = FaultModel(FaultRates(instance_failure=0.5),
+                               seed=derive_task_seed(5, rate))
+            draws.append((model.failed_instances(16),
+                          model.failure_fraction()))
+        assert draws[0] != draws[1]
+
+
+class TestFaultCampaignWorkerParity:
+    def test_bit_identical_across_worker_counts(self):
+        from repro.experiments import fault_campaign
+
+        serial = fault_campaign.run(fault_rates=(0.0, 0.1, 0.2), seed=3,
+                                    library_size=16, workers=1)
+        parallel = fault_campaign.run(fault_rates=(0.0, 0.1, 0.2), seed=3,
+                                      library_size=16, workers=4)
+        assert serial == parallel
+
+    def test_point_results_independent_of_sweep_composition(self):
+        from repro.experiments import fault_campaign
+
+        full = fault_campaign.run(fault_rates=(0.0, 0.1, 0.2), seed=3,
+                                  library_size=16)
+        alone = fault_campaign.run(fault_rates=(0.2,), seed=3,
+                                   library_size=16)
+        assert full.serving_reports[2] == alone.serving_reports[0]
+
+
+class TestPolicyInterplayValidation:
+    def test_accepts_sane_defaults(self):
+        from repro.reliability import validate_policy_interplay
+
+        validate_policy_interplay(RetryPolicy(), DegradationPolicy(), 1.0)
+
+    def test_rejects_deadline_shorter_than_first_backoff(self):
+        from repro.reliability import validate_policy_interplay
+
+        retry = RetryPolicy(backoff_base_seconds=10.0,
+                            backoff_cap_seconds=10.0,
+                            straggler_deadline_multiple=2.0)
+        with pytest.raises(ValueError, match="straggler deadline"):
+            validate_policy_interplay(retry, DegradationPolicy(), 1.0)
+        # The same knobs are fine at a longer nominal time scale.
+        validate_policy_interplay(retry, DegradationPolicy(), 100.0)
+
+    def test_rejects_detection_beyond_deadline(self):
+        from repro.reliability import validate_policy_interplay
+
+        with pytest.raises(ValueError, match="detection window"):
+            validate_policy_interplay(
+                RetryPolicy(straggler_deadline_multiple=2.0),
+                DegradationPolicy(detection_fraction=3.0), 1.0)
+
+    def test_rejects_nonpositive_nominal(self):
+        from repro.reliability import validate_policy_interplay
+
+        with pytest.raises(ValueError, match="nominal_seconds"):
+            validate_policy_interplay(RetryPolicy(), DegradationPolicy(),
+                                      0.0)
+
+    def test_serving_layer_rejects_conflicting_knobs(self):
+        from repro.proteins.workloads import screening_campaign
+
+        workload = screening_campaign(library_size=8, seed=1)
+        simulator = CampaignSimulator(
+            model_config=SERVING_CONFIG, max_batch=8,
+            fault_model=FaultModel(FaultRates(batch_failure=0.2), seed=1),
+            retry_policy=RetryPolicy(backoff_base_seconds=1e6,
+                                     backoff_cap_seconds=1e6))
+        with pytest.raises(ValueError, match="straggler deadline"):
+            simulator.run_on_prose(workload)
+
+    def test_serving_layer_skips_check_when_fault_free(self):
+        from repro.proteins.workloads import screening_campaign
+
+        workload = screening_campaign(library_size=8, seed=1)
+        simulator = CampaignSimulator(
+            model_config=SERVING_CONFIG, max_batch=8,
+            retry_policy=RetryPolicy(backoff_base_seconds=1e6,
+                                     backoff_cap_seconds=1e6))
+        report = simulator.run_on_prose(workload)  # no faults: no check
+        assert report.sequences == 8
+
+
+class TestSimulateWithFaultsEdges:
+    def test_all_instances_killed_is_an_outage_rerun(self):
+        system = ProSESystem(instances=4)
+        fault_model = FaultModel(seed=5,
+                                 targeted_instance_failures=(0, 1, 2, 3))
+        report = system.simulate_with_faults(TINY, batch=16, seq_len=64,
+                                             fault_model=fault_model)
+        assert report.reliability.failures == 4
+        assert report.survivors == 4  # restarted from scratch
+        assert len(report.recovery) == 4
+        assert report.makespan_seconds > report.base.makespan_seconds
+        assert report.reliability.availability < 1.0
+        assert report.energy_joules > report.fault_free_energy_joules
+
+    def test_recovery_on_exact_detection_boundary(self):
+        # With a zero-length detection window the re-shard resumes
+        # exactly at the survivors' completion boundary: the only waste
+        # is the dead instance's in-flight progress, with no idle gap.
+        system = ProSESystem(instances=4)
+        probe = FaultModel(seed=9, targeted_instance_failures=(1,))
+        probe.failed_instances(4)
+        fail_fraction = probe.failure_fraction()
+
+        fault_model = FaultModel(seed=9, targeted_instance_failures=(1,))
+        report = system.simulate_with_faults(
+            TINY, batch=32, seq_len=64, fault_model=fault_model,
+            policy=DegradationPolicy(detection_fraction=0.0))
+        fail_at = fail_fraction * report.base.per_instance[1].makespan_seconds
+        assert report.reliability.wasted_seconds == pytest.approx(fail_at)
+        assert sum(shard.batch for shard in report.recovery) == 8
+
+    def test_detection_gap_waste_accounted_per_survivor(self):
+        system = ProSESystem(instances=4)
+        probe = FaultModel(seed=9, targeted_instance_failures=(1,))
+        probe.failed_instances(4)
+        fail_fraction = probe.failure_fraction()
+
+        detection_fraction = 2.0
+        fault_model = FaultModel(seed=9, targeted_instance_failures=(1,))
+        report = system.simulate_with_faults(
+            TINY, batch=32, seq_len=64, fault_model=fault_model,
+            policy=DegradationPolicy(
+                detection_fraction=detection_fraction))
+        completion = report.base.per_instance[1].makespan_seconds
+        fail_at = fail_fraction * completion
+        detect_at = fail_at + detection_fraction * completion
+        # Equal shards: every survivor idles from its completion until
+        # detection before its recovery shard starts.
+        expected = fail_at + 3 * (detect_at - completion)
+        assert report.reliability.wasted_seconds == pytest.approx(expected)
+
+    def test_zero_fault_rate_report_parity_with_plain_simulate(self):
+        system = ProSESystem(instances=4)
+        base = system.simulate(TINY, batch=16, seq_len=64)
+        wrapped = system.simulate_with_faults(
+            TINY, batch=16, seq_len=64,
+            fault_model=FaultModel(FaultRates(), seed=123))
+        assert wrapped.base == base
+        assert wrapped.recovery == ()
+        assert wrapped.survivors == base.instances
+        assert wrapped.makespan_seconds == base.makespan_seconds
+        assert wrapped.throughput == base.throughput
+        assert wrapped.energy_joules == wrapped.fault_free_energy_joules
+        assert wrapped.reliability.availability == 1.0
+        assert wrapped.reliability.goodput == base.throughput
+        assert wrapped.reliability.wasted_seconds == 0.0
+        assert wrapped.reliability.wasted_joules == 0.0

@@ -15,7 +15,7 @@ from repro.arch.accelerated_model import AcceleratedProteinBert
 from repro.dataflow import ArrayType
 from repro.model import ProteinBert, protein_bert_tiny
 from repro.proteins.workloads import uniprot_like_workload
-from repro.reliability import FaultModel, FaultRates
+from repro.reliability import FaultModel, FaultRates, RetryPolicy
 from repro.sched import Orchestrator
 from repro.sched.orchestrator import ScheduleResult
 from repro.system import CampaignSimulator, ProSESystem
@@ -200,8 +200,11 @@ class TestServingTracing:
                                          max_length=200)
         faults = FaultModel(FaultRates(batch_failure=0.5), seed=11)
         tracer = Tracer()
-        traced = CampaignSimulator(CONFIG, fault_model=faults).run_on_prose(
-            workload, tracer=tracer)
+        traced = CampaignSimulator(
+            CONFIG, fault_model=faults,
+            retry_policy=RetryPolicy(backoff_base_seconds=0.0001,
+                                     backoff_cap_seconds=0.001),
+        ).run_on_prose(workload, tracer=tracer)
         assert traced.reliability is not None
         if traced.reliability.retries:
             assert any(event.name == "retry" for event in tracer.instants)
