@@ -287,3 +287,24 @@ def scenario_fleet_simulate() -> float:
     simulator, scenario = state
     report = simulator.run(batch=64, scenario=scenario)
     return float(report.makespan_seconds)
+
+
+@register("monitor_overhead",
+          "fleet_simulate with a live SLO monitor attached: time-series "
+          "sampling + burn-rate alerting on top of the same run",
+          setup=_setup_fleet_simulate, tags=(FAST_TAG,))
+def scenario_monitor_overhead() -> float:
+    from ..monitor import fleet_monitor
+
+    state = _STATE.get("fleet_simulate")
+    if state is None:
+        _setup_fleet_simulate()
+        state = _STATE["fleet_simulate"]
+    simulator, scenario = state
+    # A Monitor arms once per run, so building it is part of the timed
+    # body; the delta vs fleet_simulate is the monitoring overhead.
+    report = simulator.run(batch=64, scenario=scenario,
+                           monitor=fleet_monitor())
+    # Fingerprint folds in the alert count: a run that stops paging (or
+    # pages more) drifts the fingerprint even at identical makespan.
+    return float(report.makespan_seconds) * (1.0 + report.slo.alerts)

@@ -9,6 +9,7 @@
     python -m repro.cli zoo
     python -m repro.cli reliability --fault-rate 0.05 --seed 7
     python -m repro.cli fleet --scenario rack_power_loss --trace-out fleet.json
+    python -m repro.cli monitor --scenario rack_power_loss
     python -m repro.cli trace --seq-len 128 --batch 8 --out trace.json
     python -m repro.cli bench --repeat 5 --compare BENCH_0001.json --check
 """
@@ -165,19 +166,36 @@ def cmd_embed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics_out(metrics, path: str) -> None:
+    """Dump a registry to ``path``; the suffix picks CSV vs JSONL."""
+    from .telemetry import write_metrics_csv, write_metrics_jsonl
+
+    if path.endswith(".csv"):
+        write_metrics_csv(metrics, path)
+    else:
+        write_metrics_jsonl(metrics, path)
+    print(f"metrics:   {len(metrics)} series -> {path}")
+
+
 def cmd_reliability(args: argparse.Namespace) -> int:
     from .experiments import fault_campaign
     from .model.config import protein_bert_tiny
     from .reliability import FaultModel, FaultRates
     from .system.multi import ProSESystem
+    from .telemetry import MetricsRegistry
 
+    metrics = MetricsRegistry("reliability") if args.metrics_out else None
     if args.sweep:
-        result = fault_campaign.run(seed=args.seed, workers=args.workers)
+        result = fault_campaign.run(seed=args.seed, workers=args.workers,
+                                    metrics=metrics)
         print(fault_campaign.format_result(result))
+        if args.metrics_out:
+            _write_metrics_out(metrics, args.metrics_out)
         return 0
 
     rate = args.fault_rate
-    result = fault_campaign.run(fault_rates=(rate,), seed=args.seed)
+    result = fault_campaign.run(fault_rates=(rate,), seed=args.seed,
+                                metrics=metrics)
     report = result.serving_reports[0]
     print(f"serving campaign @ fault rate {rate:g} (seed {args.seed}):")
     print(f"  {report.summary()}")
@@ -197,6 +215,8 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     print(f"  survivors: {scenario.survivors}, energy "
           f"{scenario.energy_joules:.3f} J "
           f"(fault-free {scenario.fault_free_energy_joules:.3f} J)")
+    if args.metrics_out:
+        _write_metrics_out(metrics, args.metrics_out)
     return 0
 
 
@@ -295,11 +315,108 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             tracer, args.trace_out,
             metadata={"tool": "repro.cli fleet", "version": __version__,
                       "scenario": report.scenario, "batch": report.batch,
-                      "seed": args.seed})
+                      "seed": args.seed},
+            metrics=metrics)
         counts = validate_chrome_trace(data)
         print(f"trace:     {counts['spans']} spans, "
               f"{counts['instants']} instants, "
+              f"{counts['counters']} counters, "
               f"{counts['processes']} processes -> {args.trace_out} "
+              f"(open at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        _write_metrics_out(metrics, args.metrics_out)
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from .fleet import (
+        SCENARIO_BUILDERS,
+        FleetSimulator,
+        build_fleet,
+        build_scenario,
+    )
+    from .model.config import protein_bert_base, protein_bert_tiny
+    from .monitor import fleet_monitor, format_alert_report, render_dashboard
+    from .reliability import (
+        FaultModel,
+        FaultRates,
+        derive_task_seed,
+    )
+    from .telemetry import Tracer, validate_chrome_trace, write_chrome_trace
+
+    config = protein_bert_tiny() if args.tiny else protein_bert_base()
+    topology = build_fleet(racks=args.racks,
+                           hosts_per_rack=args.hosts_per_rack,
+                           instances_per_host=args.instances_per_host,
+                           heterogeneous=args.heterogeneous)
+
+    def _run(name: str):
+        fault_model = FaultModel(
+            FaultRates(link_transient=args.link_transient_rate),
+            seed=derive_task_seed(args.seed, name))
+        simulator = FleetSimulator(topology, model_config=config,
+                                   fault_model=fault_model,
+                                   seq_len=args.seq_len)
+        scenario = (None if name == "none"
+                    else build_scenario(name, topology))
+        monitor = fleet_monitor(samples=args.samples)
+        tracer = Tracer() if args.trace_out else None
+        report = simulator.run(batch=args.batch, scenario=scenario,
+                               tracer=tracer, monitor=monitor)
+        return report, monitor, tracer
+
+    def _ms(value) -> str:
+        return f"{value * 1e3:9.3f}" if value is not None else f"{'-':>9s}"
+
+    if args.scenario == "all":
+        print(f"{'scenario':<18s} {'fault ms':>9s} {'detect ms':>9s} "
+              f"{'page ms':>9s} {'Δpage ms':>9s} {'alerts':>6s} "
+              f"{'pages':>5s} {'burn':>7s} {'budget':>7s}")
+        for name in SCENARIO_BUILDERS:
+            report, _monitor, _tracer = _run(name)
+            outcome = report.slo
+            print(f"{name:<18s} {_ms(outcome.fault_seconds)} "
+                  f"{_ms(outcome.detection_seconds)} "
+                  f"{_ms(outcome.first_page_seconds)} "
+                  f"{_ms(outcome.page_delay_seconds)} "
+                  f"{outcome.alerts:6d} {outcome.pages:5d} "
+                  f"{outcome.worst_burn_rate:7.1f} "
+                  f"{outcome.budget_remaining:6.1%}")
+        return 0
+
+    report, monitor, tracer = _run(args.scenario)
+    print(f"fleet:     {report.topology}")
+    print(f"scenario:  {report.scenario}")
+    print(f"workload:  {report.batch} inferences, seq_len {args.seq_len}, "
+          f"seed {args.seed}")
+    print(f"makespan:  {report.makespan_seconds * 1e3:.3f} ms "
+          f"(availability {report.availability:.4f})")
+    print(f"slo:       {report.slo.summary()}")
+    print()
+    dashboard = render_dashboard(
+        monitor, width=args.width,
+        series_names=[name for name in monitor.store.names()
+                      if name.startswith("fleet/")])
+    print(dashboard)
+    if args.dashboard_out:
+        with open(args.dashboard_out, "w", encoding="utf-8") as handle:
+            handle.write(dashboard + "\n")
+        print(f"dashboard -> {args.dashboard_out}")
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(format_alert_report(monitor.report()) + "\n")
+        print(f"alert report -> {args.report_out}")
+    if args.trace_out:
+        data = write_chrome_trace(
+            tracer, args.trace_out,
+            metadata={"tool": "repro.cli monitor",
+                      "version": __version__,
+                      "scenario": report.scenario, "batch": report.batch,
+                      "seed": args.seed},
+            series=monitor.store)
+        counts = validate_chrome_trace(data)
+        print(f"trace:     {counts['spans']} spans, "
+              f"{counts['counters']} counter samples -> {args.trace_out} "
               f"(open at https://ui.perfetto.dev)")
     return 0
 
@@ -471,7 +588,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         tracer, args.out,
         metadata={"tool": "repro.cli trace", "version": __version__,
                   "workloads": list(workloads), "batch": args.batch,
-                  "seq_len": args.seq_len})
+                  "seq_len": args.seq_len},
+        metrics=metrics)
     counts = validate_chrome_trace(data)
     write_metrics_csv(metrics, args.metrics_csv)
     write_metrics_jsonl(metrics, args.metrics_jsonl)
@@ -580,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fan --sweep rate points out over N "
                                   "processes (default $REPRO_SWEEP_WORKERS "
                                   "or 1)")
+    reliability.add_argument("--metrics-out", default=None,
+                             metavar="PATH",
+                             help="dump serving metrics per rate point "
+                                  "(suffix picks .csv or .jsonl; implies "
+                                  "serial instrumented runs)")
     reliability.set_defaults(handler=cmd_reliability)
 
     fleet = sub.add_parser(
@@ -620,10 +743,49 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--trace-out", default=None,
                        help="write the recovery timeline as a Perfetto "
                             "trace")
+    fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump fleet metrics (suffix picks .csv or "
+                            ".jsonl)")
     fleet.add_argument("--workers", type=int, default=None,
                        help="fan --scenario all out over N processes "
                             "(default $REPRO_SWEEP_WORKERS or 1)")
     fleet.set_defaults(handler=cmd_fleet)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="live monitoring: SLO burn-rate alerts and an ASCII "
+             "dashboard over a chaos scenario")
+    monitor.add_argument("--scenario", default="rack_power_loss",
+                         help="chaos scenario name, 'none' (clean run), "
+                              "or 'all' (alert-timeline table)")
+    monitor.add_argument("--racks", type=int, default=2)
+    monitor.add_argument("--hosts-per-rack", type=int, default=2)
+    monitor.add_argument("--instances-per-host", type=int, default=4)
+    monitor.add_argument("--heterogeneous", action="store_true",
+                         help="mix calibrated A100/TPU baselines into "
+                              "the fleet")
+    monitor.add_argument("--batch", type=int, default=256)
+    monitor.add_argument("--seq-len", type=int, default=128)
+    monitor.add_argument("--seed", type=int, default=2022)
+    monitor.add_argument("--tiny", action="store_true",
+                         help="use the tiny model config (fast smoke "
+                              "runs)")
+    monitor.add_argument("--link-transient-rate", type=float, default=0.0,
+                         help="background fabric transient probability "
+                              "per dispatch")
+    monitor.add_argument("--samples", type=int, default=128,
+                         help="monitor sample ticks across the nominal "
+                              "horizon")
+    monitor.add_argument("--width", type=int, default=48,
+                         help="sparkline width in characters")
+    monitor.add_argument("--dashboard-out", default=None, metavar="PATH",
+                         help="also write the dashboard to a file")
+    monitor.add_argument("--report-out", default=None, metavar="PATH",
+                         help="write the alert report to a file")
+    monitor.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Perfetto trace with monitor "
+                              "counter tracks")
+    monitor.set_defaults(handler=cmd_monitor)
 
     trace = sub.add_parser(
         "trace",

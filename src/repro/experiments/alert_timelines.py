@@ -1,0 +1,82 @@
+"""Alert timelines: fault -> detection -> page for every chaos scenario.
+
+The monitoring layer (:mod:`repro.monitor`) only earns its keep if the
+burn-rate alerts it raises track the faults the chaos scenarios inject.
+This experiment re-runs the chaos campaign (monitors are always on
+there) and distils each scenario's :class:`~repro.monitor.SloOutcome`
+into an incident timeline: when the first fault landed, when the fleet's
+health layer detected it, when the first page fired, and how far behind
+the fault that page was.
+
+Everything derives from the deterministic campaign, so the timeline is
+a regression artifact like any paper figure: a scenario that stops
+paging — or pages slower — shows up as a diff in this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..monitor import SloOutcome
+from . import chaos_campaign
+
+
+@dataclass(frozen=True)
+class AlertTimelinesResult:
+    """One SLO outcome per scenario (baseline first), plus fleet shape."""
+
+    topology: str
+    batch: int
+    seed: int
+    scenarios: Tuple[str, ...]
+    outcomes: Tuple[Optional[SloOutcome], ...]
+
+
+def run(batch: int = 128, seed: int = 2022,
+        racks: int = 2, hosts_per_rack: int = 2,
+        instances_per_host: int = 2, heterogeneous: bool = False,
+        workers: Optional[int] = None) -> AlertTimelinesResult:
+    """Run the chaos campaign and keep each scenario's SLO outcome.
+
+    Args mirror :func:`repro.experiments.chaos_campaign.run`; the
+    campaign itself attaches a fleet monitor to every scenario, so this
+    experiment adds no simulation of its own — it is a different lens
+    on the same deterministic runs.
+    """
+    campaign = chaos_campaign.run(
+        batch=batch, seed=seed, racks=racks,
+        hosts_per_rack=hosts_per_rack,
+        instances_per_host=instances_per_host,
+        heterogeneous=heterogeneous, workers=workers)
+    return AlertTimelinesResult(
+        topology=campaign.topology, batch=campaign.batch,
+        seed=campaign.seed, scenarios=campaign.scenarios,
+        outcomes=tuple(report.slo for report in campaign.reports))
+
+
+def _ms(seconds: Optional[float]) -> str:
+    """Millisecond cell, '-' when the event never happened."""
+    return f"{seconds * 1e3:9.3f}" if seconds is not None else f"{'-':>9s}"
+
+
+def format_result(result: AlertTimelinesResult) -> str:
+    """Per-scenario fault/detection/page timeline table."""
+    lines = [f"fleet: {result.topology}, batch {result.batch}, "
+             f"seed {result.seed}",
+             f"{'scenario':>16s} {'fault ms':>9s} {'detect ms':>9s} "
+             f"{'page ms':>9s} {'page lag':>9s} {'alerts':>6s} "
+             f"{'pages':>5s} {'burn':>7s} {'budget':>7s}"]
+    for name, outcome in zip(result.scenarios, result.outcomes):
+        if outcome is None:
+            lines.append(f"{name:>16s} {'(no monitor)':>9s}")
+            continue
+        lines.append(
+            f"{name:>16s} {_ms(outcome.fault_seconds)} "
+            f"{_ms(outcome.detection_seconds)} "
+            f"{_ms(outcome.first_page_seconds)} "
+            f"{_ms(outcome.page_delay_seconds)} "
+            f"{outcome.alerts:6d} {outcome.pages:5d} "
+            f"{outcome.worst_burn_rate:7.1f} "
+            f"{outcome.budget_remaining:6.1%}")
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from ..fleet import (
     build_scenario,
 )
 from ..model.config import BertConfig, protein_bert_tiny
+from ..monitor import fleet_monitor
 from ..parallel.executor import SweepExecutor
 from ..reliability import (
     DegradationPolicy,
@@ -59,7 +60,10 @@ def _scenario_report(payload: Tuple[str, int, int, BertConfig,
 
     The fault-model seed is a pure function of (root seed, scenario
     name), so this task's outcome does not depend on which worker runs
-    it or in what order.
+    it or in what order.  Every run carries a live fleet monitor: the
+    monitor only observes (all simulated numbers stay bit-identical)
+    and its :class:`~repro.monitor.SloOutcome` lands on the report, so
+    the campaign table can show service impact next to raw goodput.
     """
     name, seed, batch, config, topology = payload
     fault_model = FaultModel(
@@ -73,7 +77,8 @@ def _scenario_report(payload: Tuple[str, int, int, BertConfig,
         seq_len=64, reference_batch=4)
     scenario = (None if name == BASELINE
                 else build_scenario(name, topology))
-    return simulator.run(batch=batch, scenario=scenario)
+    return simulator.run(batch=batch, scenario=scenario,
+                         monitor=fleet_monitor())
 
 
 def run(batch: int = 128, seed: int = 2022,
@@ -108,17 +113,24 @@ def run(batch: int = 128, seed: int = 2022,
 
 
 def format_result(result: ChaosCampaignResult) -> str:
-    """Per-scenario goodput/availability/recovery table."""
+    """Per-scenario goodput/availability/recovery/service-impact table."""
     lines = [f"fleet: {result.topology}, batch {result.batch}, "
              f"seed {result.seed}",
              f"{'scenario':>16s} {'goodput':>10s} {'avail':>7s} "
              f"{'done':>7s} {'shed':>6s} {'reshards':>8s} "
-             f"{'recov ms':>9s} {'fails':>5s}"]
+             f"{'recov ms':>9s} {'fails':>5s} {'alerts':>6s} "
+             f"{'burn':>7s} {'budget':>7s}"]
     for name, report in zip(result.scenarios, result.reports):
+        slo = report.slo
+        alerts = f"{slo.alerts:6d}" if slo is not None else f"{'-':>6s}"
+        burn = (f"{slo.worst_burn_rate:7.1f}" if slo is not None
+                else f"{'-':>7s}")
+        budget = (f"{slo.budget_remaining:6.1%}" if slo is not None
+                  else f"{'-':>7s}")
         lines.append(
             f"{name:>16s} {report.goodput:10.1f} "
             f"{report.availability:7.4f} {report.completed:7.1f} "
             f"{report.shed:6.1f} {report.reshards:8d} "
             f"{report.recovery_seconds * 1e3:9.3f} "
-            f"{report.failures:5d}")
+            f"{report.failures:5d} {alerts} {burn} {budget}")
     return "\n".join(lines)

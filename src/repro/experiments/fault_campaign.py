@@ -30,6 +30,7 @@ from ..reliability import (
 )
 from ..system.multi import ProSESystem, ReliableSystemReport
 from ..system.serving import CampaignSimulator
+from ..telemetry import MetricsRegistry
 
 #: Fault rates swept over the serving campaign.
 DEFAULT_FAULT_RATES: Tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2)
@@ -50,7 +51,9 @@ class FaultCampaignResult:
 
 
 def _serving_report(payload: Tuple[float, int, BertConfig, Workload,
-                                   RetryPolicy]) -> ReliabilityReport:
+                                   RetryPolicy],
+                    metrics: Optional[MetricsRegistry] = None
+                    ) -> ReliabilityReport:
     """One fault-rate point of the sweep (module-level for pickling).
 
     Each point builds its own :class:`FaultModel` whose seed is derived
@@ -66,7 +69,7 @@ def _serving_report(payload: Tuple[float, int, BertConfig, Workload,
     simulator = CampaignSimulator(model_config=config, max_batch=8,
                                   fault_model=fault_model,
                                   retry_policy=policy)
-    report = simulator.run_on_prose(workload)
+    report = simulator.run_on_prose(workload, metrics=metrics)
     return (report.reliability
             or ReliabilityReport(goodput=report.throughput))
 
@@ -74,7 +77,8 @@ def _serving_report(payload: Tuple[float, int, BertConfig, Workload,
 def run(fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES,
         seed: int = 2022, library_size: int = 96,
         retry_policy: Optional[RetryPolicy] = None,
-        workers: Optional[int] = None) -> FaultCampaignResult:
+        workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None) -> FaultCampaignResult:
     """Sweep fault rates over a screening campaign; kill one instance.
 
     Args:
@@ -85,16 +89,27 @@ def run(fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES,
         retry_policy: serving retry/backoff knobs.
         workers: fan the rate points out over N processes; ``None`` reads
             ``REPRO_SWEEP_WORKERS`` (default 1, the serial path).
+        metrics: optional registry; when given, every rate point runs
+            instrumented (serially — the instrumented path does not fan
+            out) and its serving counters/histograms merge in under a
+            ``rate<rate>/`` prefix.
     """
     config = protein_bert_tiny(num_layers=2, hidden_size=128, num_heads=4,
                                intermediate_size=512, max_position=2048)
     workload = screening_campaign(library_size=library_size, seed=seed)
     policy = retry_policy or DEFAULT_RETRY_POLICY
-    executor = SweepExecutor(SweepExecutor.resolve_workers(workers))
-    serving_reports = executor.map(
-        _serving_report,
-        [(rate, seed, config, workload, policy) for rate in fault_rates],
-        label="fault-campaign")
+    payloads = [(rate, seed, config, workload, policy)
+                for rate in fault_rates]
+    if metrics is not None:
+        serving_reports = []
+        for payload in payloads:
+            child = MetricsRegistry(f"rate{payload[0]:g}")
+            serving_reports.append(_serving_report(payload, metrics=child))
+            metrics.merge(child, prefix=f"rate{payload[0]:g}")
+    else:
+        executor = SweepExecutor(SweepExecutor.resolve_workers(workers))
+        serving_reports = executor.map(_serving_report, payloads,
+                                       label="fault-campaign")
 
     # Deterministically kill instance 1 of 4 mid-batch: the recovery
     # path reshards its inferences across the three survivors.

@@ -12,6 +12,7 @@ from typing import Callable, List, Optional, Tuple
 
 from . import (
     ablations,
+    alert_timelines,
     binding_study,
     chaos_campaign,
     extensions,
@@ -78,6 +79,8 @@ EXPERIMENTS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
      fault_campaign.run, fault_campaign.format_result),
     ("Chaos", "Fleet chaos campaign: correlated failures and recovery",
      chaos_campaign.run, chaos_campaign.format_result),
+    ("Monitoring", "Alert timelines: fault to detection to page per scenario",
+     alert_timelines.run, alert_timelines.format_result),
 )
 
 

@@ -52,6 +52,7 @@ from ..reliability.policy import (
     RetryPolicy,
     validate_policy_interplay,
 )
+from ..monitor.engine import Monitor, SloOutcome
 from ..sched.host import HOST_POWER_WATTS
 from ..telemetry import MetricsRegistry, Tracer
 from .health import HealthMonitor, HealthState, HeartbeatConfig
@@ -116,6 +117,9 @@ class FleetReport:
             full makespan.
         per_instance: per-instance outcomes, topology order.
         transitions: the health state-machine history.
+        slo: service-impact summary (alerts fired, worst burn rate,
+            budget remaining) when the run carried a live monitor;
+            None otherwise.
     """
 
     scenario: str
@@ -135,6 +139,7 @@ class FleetReport:
     energy_joules: float
     per_instance: Tuple[InstanceOutcome, ...]
     transitions: Tuple[object, ...] = ()
+    slo: Optional[SloOutcome] = None
 
     @property
     def goodput(self) -> float:
@@ -156,13 +161,18 @@ class FleetReport:
         return self.completed / self.batch if self.batch else 1.0
 
     def summary(self) -> str:
-        return (f"goodput={self.goodput:.1f} inf/s "
+        text = (f"goodput={self.goodput:.1f} inf/s "
                 f"availability={self.availability:.4f} "
                 f"completed={self.completed:.1f}/{self.batch} "
                 f"shed={self.shed:.1f} reshards={self.reshards} "
                 f"recovery={self.recovery_seconds * 1e3:.3f} ms "
                 f"failures={self.failures} "
                 f"energy={self.energy_joules:.2f} J")
+        if self.slo is not None:
+            text += (f" alerts={self.slo.alerts} pages={self.slo.pages} "
+                     f"worst_burn={self.slo.worst_burn_rate:.1f} "
+                     f"budget_left={self.slo.budget_remaining:.1%}")
+        return text
 
 
 @dataclass
@@ -282,10 +292,10 @@ class FleetSimulator:
 
     def nominal_plan(self, batch: int) -> SharedPlan:
         """The full-health shard plan (the homogeneous reference)."""
-        monitor = HealthMonitor(
+        health = HealthMonitor(
             [inst.instance_id for inst in self.topology.instances],
             heartbeat=self.heartbeat)
-        plan = self.scheduler.plan(float(batch), monitor)
+        plan = self.scheduler.plan(float(batch), health)
         assert plan is not None  # a fresh monitor always has capacity
         return plan
 
@@ -303,12 +313,19 @@ class FleetSimulator:
     def run(self, batch: int = 256,
             scenario: Optional[ChaosScenario] = None,
             tracer: Optional[Tracer] = None,
-            metrics: Optional[MetricsRegistry] = None) -> FleetReport:
+            metrics: Optional[MetricsRegistry] = None,
+            monitor: Optional[Monitor] = None) -> FleetReport:
         """Simulate ``batch`` inferences under the chaos script.
 
         With no scenario and an inert fault model the event loop
         processes only shard completions, and every per-instance finish
         reproduces the nominal plan bit-identically.
+
+        A live ``monitor`` (see :func:`repro.monitor.fleet_monitor`)
+        samples fleet series at its tick cadence through read-only
+        "sample" events on the same queue — it observes the simulation
+        without touching its state, so every simulated number is
+        bit-identical with and without one.
         """
         if batch <= 0:
             raise ValueError("batch must be positive")
@@ -317,7 +334,7 @@ class FleetSimulator:
         if self.retry_policy is not None:
             validate_policy_interplay(self.retry_policy, self.policy,
                                       nominal)
-        monitor = HealthMonitor(
+        health = HealthMonitor(
             [inst.instance_id for inst in self.topology.instances],
             heartbeat=self.heartbeat,
             circuit_breaker_failures=self.policy.circuit_breaker_failures,
@@ -340,6 +357,9 @@ class FleetSimulator:
             instance = self.topology.instances[index]
             at = self.fault_model.failure_fraction() * nominal
             events.push(at, FAIL, instance.instance_id, None)
+        if monitor is not None:
+            monitor.begin(nominal)
+            events.push(monitor.sample_interval, "sample", "", None)
 
         # Initial dispatch: the nominal plan, since everyone is healthy.
         plan = self.nominal_plan(batch)
@@ -351,7 +371,7 @@ class FleetSimulator:
             state.allocated = assignment.amount
             state.remaining = assignment.amount
             state.segment_start = dispatch
-            state.eff_rate = state.rate * monitor.capacity_factor(
+            state.eff_rate = state.rate * health.capacity_factor(
                 assignment.instance_id)
             if tracer is not None:
                 pid, tid = self._span_target(assignment.instance_id)
@@ -361,11 +381,20 @@ class FleetSimulator:
                     tier=self.topology.tier_of(state.instance).value,
                     amount=assignment.amount)
 
-        self._event_loop(states, monitor, events, nominal, counters,
-                         tracer)
+        self._event_loop(states, health, events, nominal, counters,
+                         tracer, monitor)
 
         makespan = max((state.finish_seconds for state in states.values()),
                        default=0.0)
+        slo_outcome: Optional[SloOutcome] = None
+        if monitor is not None:
+            # Close the books at the makespan (or the last tick, if a
+            # queued sample already ran past it) so the final budget
+            # accounts for the whole run.
+            final_t = max(makespan, monitor.last_tick)
+            self._on_sample(final_t, states, health, counters, monitor,
+                            None)
+            slo_outcome = monitor.finalize(final_t).outcome()
         completed = sum(state.completed for state in states.values())
         recovery_seconds = 0.0
         if counters.first_failure is not None and counters.reshards:
@@ -379,8 +408,8 @@ class FleetSimulator:
                 instance_id=instance_id, backend=state.instance.backend.label,
                 allocated=state.allocated, completed=state.completed,
                 finish_seconds=state.finish_seconds,
-                final_state=monitor.state(instance_id).value,
-                breaker_open=monitor.breaker_open(instance_id))
+                final_state=health.state(instance_id).value,
+                breaker_open=health.breaker_open(instance_id))
             for instance_id, state in states.items())
         report = FleetReport(
             scenario=scenario.name if scenario is not None else "none",
@@ -394,16 +423,17 @@ class FleetSimulator:
             brownouts=counters.brownouts,
             link_retransmissions=counters.retransmissions,
             energy_joules=energy, per_instance=outcomes,
-            transitions=tuple(monitor.transitions))
-        self._emit_summary(report, states, monitor, tracer, metrics)
+            transitions=tuple(health.transitions), slo=slo_outcome)
+        self._emit_summary(report, states, health, tracer, metrics)
         return report
 
     # -- event loop ------------------------------------------------------
 
     def _event_loop(self, states: Dict[str, _Sim],
-                    monitor: HealthMonitor, events: "_EventQueue",
+                    health: HealthMonitor, events: "_EventQueue",
                     nominal: float, counters: "_Counters",
-                    tracer: Optional[Tracer]) -> None:
+                    tracer: Optional[Tracer],
+                    monitor: Optional[Monitor] = None) -> None:
         detection = self.heartbeat.detection_seconds(nominal)
         warmup = self.heartbeat.warmup_seconds(nominal)
         while True:
@@ -420,27 +450,33 @@ class FleetSimulator:
             for action, instance_id, payload in events.pop_at(next_event):
                 t = next_event
                 if action == FAIL:
-                    self._on_fail(t, instance_id, states, monitor, events,
+                    self._on_fail(t, instance_id, states, health, events,
                                   detection, counters, tracer,
-                                  scripted=payload is not None)
+                                  scripted=payload is not None,
+                                  monitor=monitor)
                 elif action == "detect":
-                    self._on_detect(t, payload, states, monitor, events,
-                                    counters, tracer)
+                    self._on_detect(t, payload, states, health, events,
+                                    counters, tracer, monitor=monitor)
                 elif action == RECOVER:
-                    self._on_recover(t, instance_id, states, monitor,
+                    self._on_recover(t, instance_id, states, health,
                                      events, warmup, counters, tracer)
                 elif action == "warmup_done":
-                    self._on_warmup_done(t, instance_id, states, monitor)
+                    self._on_warmup_done(t, instance_id, states, health)
                 elif action == DEGRADE:
-                    self._on_degrade(t, instance_id, states, monitor,
-                                     payload.factor, reason="scripted")
+                    self._on_degrade(t, instance_id, states, health,
+                                     payload.factor, reason="scripted",
+                                     monitor=monitor)
                 elif action == UNDEGRADE:
-                    self._on_undegrade(t, instance_id, states, monitor)
+                    self._on_undegrade(t, instance_id, states, health)
                 elif action == LINK_FLAP:
-                    self._on_flap(t, instance_id, states, monitor, events,
-                                  payload, nominal, tracer)
+                    self._on_flap(t, instance_id, states, health, events,
+                                  payload, nominal, tracer,
+                                  monitor=monitor)
+                elif action == "sample":
+                    self._on_sample(t, states, health, counters, monitor,
+                                    events)
                 elif action == "flap_end":
-                    self._on_flap_end(t, instance_id, states, monitor,
+                    self._on_flap_end(t, instance_id, states, health,
                                       tracer)
         # Anything still waiting for capacity that never returned is lost.
         backlog = counters.backlog
@@ -493,8 +529,8 @@ class FleetSimulator:
                 start, t, pid=pid, tid=tid, category=category,
                 rate=state.eff_rate)
 
-    def _refresh_rate(self, state: _Sim, monitor: HealthMonitor) -> None:
-        state.eff_rate = state.rate * monitor.capacity_factor(
+    def _refresh_rate(self, state: _Sim, health: HealthMonitor) -> None:
+        state.eff_rate = state.rate * health.capacity_factor(
             state.instance.instance_id)
 
     def _complete_at(self, t: float, states: Dict[str, _Sim],
@@ -512,12 +548,15 @@ class FleetSimulator:
                         counters.last_recovery_finish, t)
 
     def _on_fail(self, t: float, instance_id: str,
-                 states: Dict[str, _Sim], monitor: HealthMonitor,
+                 states: Dict[str, _Sim], health: HealthMonitor,
                  events: "_EventQueue", detection: float,
                  counters: "_Counters", tracer: Optional[Tracer],
-                 scripted: bool) -> None:
-        if monitor.state(instance_id) is HealthState.DEAD:
+                 scripted: bool,
+                 monitor: Optional[Monitor] = None) -> None:
+        if health.state(instance_id) is HealthState.DEAD:
             return
+        if monitor is not None:
+            monitor.mark(t, "fault", instance_id)
         state = states[instance_id]
         self._close_segment(state, t, tracer,
                             "recovery" if state.has_recovery_work
@@ -526,7 +565,7 @@ class FleetSimulator:
         state.remaining = 0.0
         state.eff_rate = 0.0
         state.finish_seconds = max(state.finish_seconds, t)
-        monitor.transition(instance_id, HealthState.DEAD, t,
+        health.transition(instance_id, HealthState.DEAD, t,
                            reason="scripted" if scripted else "spontaneous")
         counters.failures += 1
         if counters.first_failure is None:
@@ -540,9 +579,12 @@ class FleetSimulator:
                             tid=tid, category="fault")
 
     def _on_detect(self, t: float, instance_id: str,
-                   states: Dict[str, _Sim], monitor: HealthMonitor,
+                   states: Dict[str, _Sim], health: HealthMonitor,
                    events: "_EventQueue", counters: "_Counters",
-                   tracer: Optional[Tracer]) -> None:
+                   tracer: Optional[Tracer],
+                   monitor: Optional[Monitor] = None) -> None:
+        if monitor is not None:
+            monitor.mark(t, "detection", instance_id)
         state = states[instance_id]
         lost, state.lost = state.lost, 0.0
         if tracer is not None:
@@ -552,20 +594,20 @@ class FleetSimulator:
         if lost <= 0.0:
             return
         counters.detections += 1
-        self._reshard(t, lost, states, monitor, events, counters, tracer,
+        self._reshard(t, lost, states, health, events, counters, tracer,
                       exclude=(instance_id,))
 
     def _reshard(self, t: float, work: float, states: Dict[str, _Sim],
-                 monitor: HealthMonitor, events: "_EventQueue",
+                 health: HealthMonitor, events: "_EventQueue",
                  counters: "_Counters", tracer: Optional[Tracer],
                  exclude: Tuple[str, ...] = ()) -> None:
-        if monitor.alive_count() < self.policy.min_survivors:
+        if health.alive_count() < self.policy.min_survivors:
             counters.backlog += work
             if tracer is not None:
                 tracer.instant("outage", t, pid="fleet", tid="scheduler",
                                category="fault", backlog=work)
             return
-        plan = self.scheduler.plan(work, monitor, exclude=exclude,
+        plan = self.scheduler.plan(work, health, exclude=exclude,
                                    integral=False)
         if plan is None or not plan.assignments:
             counters.backlog += work
@@ -598,7 +640,7 @@ class FleetSimulator:
                     target, assignment.amount, counters)
                 target.remaining = assignment.amount
                 target.segment_start = t + dispatch
-                self._refresh_rate(target, monitor)
+                self._refresh_rate(target, health)
                 if tracer is not None:
                     pid, tid = self._span_target(assignment.instance_id)
                     tracer.add_span(
@@ -608,69 +650,75 @@ class FleetSimulator:
                             target.instance).value)
 
     def _on_recover(self, t: float, instance_id: str,
-                    states: Dict[str, _Sim], monitor: HealthMonitor,
+                    states: Dict[str, _Sim], health: HealthMonitor,
                     events: "_EventQueue", warmup: float,
                     counters: "_Counters",
                     tracer: Optional[Tracer]) -> None:
-        if monitor.state(instance_id) is not HealthState.DEAD:
+        if health.state(instance_id) is not HealthState.DEAD:
             return
-        monitor.transition(instance_id, HealthState.RECOVERING, t,
+        health.transition(instance_id, HealthState.RECOVERING, t,
                            reason="restart")
         events.push(t + warmup, "warmup_done", instance_id, None)
         state = states[instance_id]
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
         if counters.backlog > 0.0:
             backlog, counters.backlog = counters.backlog, 0.0
-            self._reshard(t, backlog, states, monitor, events, counters,
+            self._reshard(t, backlog, states, health, events, counters,
                           tracer)
 
     def _on_warmup_done(self, t: float, instance_id: str,
                         states: Dict[str, _Sim],
-                        monitor: HealthMonitor) -> None:
-        if monitor.state(instance_id) is not HealthState.RECOVERING:
+                        health: HealthMonitor) -> None:
+        if health.state(instance_id) is not HealthState.RECOVERING:
             return
         state = states[instance_id]
         self._progress(state, t)
-        monitor.transition(instance_id, HealthState.HEALTHY, t,
+        health.transition(instance_id, HealthState.HEALTHY, t,
                            reason="warmup_complete")
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
 
     def _on_degrade(self, t: float, instance_id: str,
-                    states: Dict[str, _Sim], monitor: HealthMonitor,
-                    factor: float, reason: str) -> None:
-        if monitor.state(instance_id) not in (HealthState.HEALTHY,
+                    states: Dict[str, _Sim], health: HealthMonitor,
+                    factor: float, reason: str,
+                    monitor: Optional[Monitor] = None) -> None:
+        if health.state(instance_id) not in (HealthState.HEALTHY,
                                               HealthState.DEGRADED):
             return
+        if monitor is not None:
+            monitor.mark(t, "fault", instance_id)
         state = states[instance_id]
         self._progress(state, t)
-        monitor.transition(instance_id, HealthState.DEGRADED, t,
+        health.transition(instance_id, HealthState.DEGRADED, t,
                            reason=reason, degraded_factor=factor)
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
 
     def _on_undegrade(self, t: float, instance_id: str,
                       states: Dict[str, _Sim],
-                      monitor: HealthMonitor) -> None:
-        if monitor.state(instance_id) is not HealthState.DEGRADED:
+                      health: HealthMonitor) -> None:
+        if health.state(instance_id) is not HealthState.DEGRADED:
             return
         state = states[instance_id]
         self._progress(state, t)
-        monitor.transition(instance_id, HealthState.HEALTHY, t,
+        health.transition(instance_id, HealthState.HEALTHY, t,
                            reason="undegrade")
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
 
     def _on_flap(self, t: float, instance_id: str,
-                 states: Dict[str, _Sim], monitor: HealthMonitor,
+                 states: Dict[str, _Sim], health: HealthMonitor,
                  events: "_EventQueue", event, nominal: float,
-                 tracer: Optional[Tracer]) -> None:
+                 tracer: Optional[Tracer],
+                 monitor: Optional[Monitor] = None) -> None:
+        if monitor is not None:
+            monitor.mark(t, "fault", instance_id)
         state = states[instance_id]
         self._progress(state, t)
-        monitor.set_link_factor(instance_id, event.factor)
-        if monitor.state(instance_id) is HealthState.HEALTHY:
+        health.set_link_factor(instance_id, event.factor)
+        if health.state(instance_id) is HealthState.HEALTHY:
             # The flap shows as degraded health; capacity loss comes
             # from the link factor alone (degraded_factor=1.0).
-            monitor.transition(instance_id, HealthState.DEGRADED, t,
+            health.transition(instance_id, HealthState.DEGRADED, t,
                                reason="link_flap", degraded_factor=1.0)
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
         events.push(t + event.duration_fraction * nominal, "flap_end",
                     instance_id, None)
         if tracer is not None:
@@ -679,23 +727,67 @@ class FleetSimulator:
                 "link_flap", t, t + event.duration_fraction * nominal,
                 pid=pid, tid=tid, category="fault", factor=event.factor)
 
+    def _on_sample(self, t: float, states: Dict[str, _Sim],
+                   health: HealthMonitor, counters: "_Counters",
+                   monitor: Optional[Monitor],
+                   events: Optional["_EventQueue"]) -> None:
+        """Read-only monitoring tick: sample series, feed SLOs, alert.
+
+        This handler must never touch simulation state — in particular
+        it must not call :meth:`_progress` (which folds segments and
+        would perturb floating-point accumulation order).  In-flight
+        work is estimated read-only from each instance's current
+        constant-rate segment, which is exact under the fluid model.
+        """
+        if monitor is None:
+            return
+        total_rate = sum(state.rate for state in states.values())
+        healthy_rate = sum(
+            state.rate * health.capacity_factor(state.instance.instance_id)
+            for state in states.values())
+        capacity = healthy_rate / total_rate if total_rate > 0.0 else 0.0
+        completed = 0.0
+        for state in states.values():
+            completed += state.completed
+            if state.running and t > state.segment_start:
+                completed += min(state.remaining,
+                                 state.eff_rate * (t - state.segment_start))
+            monitor.record(t, f"instance/{state.instance.instance_id}/rate",
+                           state.eff_rate)
+        monitor.record(t, "fleet/capacity_fraction", capacity)
+        monitor.record(t, "fleet/completed", completed)
+        monitor.record(t, "fleet/alive", float(health.alive_count()))
+        monitor.record(t, "fleet/shed", counters.shed)
+        monitor.record(t, "fleet/backlog", counters.backlog)
+        monitor.record(t, "fleet/failures", float(counters.failures))
+        monitor.record(t, "fleet/reshards", float(counters.reshards))
+        monitor.record(t, "fleet/link_retransmissions",
+                       float(counters.retransmissions))
+        monitor.slo_event(t, "availability", good=capacity,
+                          bad=1.0 - capacity)
+        monitor.evaluate(t)
+        if events is not None and (
+                any(state.running for state in states.values())
+                or events.peek_time() is not None):
+            events.push(t + monitor.sample_interval, "sample", "", None)
+
     def _on_flap_end(self, t: float, instance_id: str,
-                     states: Dict[str, _Sim], monitor: HealthMonitor,
+                     states: Dict[str, _Sim], health: HealthMonitor,
                      tracer: Optional[Tracer]) -> None:
         state = states[instance_id]
         self._progress(state, t)
-        monitor.set_link_factor(instance_id, 1.0)
-        if monitor.state(instance_id) is HealthState.DEGRADED:
-            last = monitor.transitions_of(instance_id)[-1]
+        health.set_link_factor(instance_id, 1.0)
+        if health.state(instance_id) is HealthState.DEGRADED:
+            last = health.transitions_of(instance_id)[-1]
             if last.reason == "link_flap":
-                monitor.transition(instance_id, HealthState.HEALTHY, t,
+                health.transition(instance_id, HealthState.HEALTHY, t,
                                    reason="link_flap_cleared")
-        self._refresh_rate(state, monitor)
+        self._refresh_rate(state, health)
 
     # -- reporting -------------------------------------------------------
 
     def _emit_summary(self, report: FleetReport, states: Dict[str, _Sim],
-                      monitor: HealthMonitor, tracer: Optional[Tracer],
+                      health: HealthMonitor, tracer: Optional[Tracer],
                       metrics: Optional[MetricsRegistry]) -> None:
         if tracer is not None:
             tracer.add_span(
@@ -703,7 +795,7 @@ class FleetSimulator:
                 pid="fleet", tid="overview", category="fleet",
                 scenario=report.scenario, batch=report.batch,
                 goodput=report.goodput, reshards=report.reshards)
-            for instance_id in monitor.open_breakers():
+            for instance_id in health.open_breakers():
                 pid, tid = self._span_target(instance_id)
                 tracer.instant("breaker_open", report.makespan_seconds,
                                pid=pid, tid=tid, category="fault")

@@ -16,6 +16,7 @@ from ..arch.config import HardwareConfig, best_perf
 from ..baselines.gpu import a100
 from ..baselines.roofline import RooflineDevice
 from ..model.config import BertConfig, protein_bert_base
+from ..monitor.engine import Monitor, SloOutcome
 from ..parallel.memo import cached_schedule
 from ..physical.power import power_report
 from ..proteins.workloads import Workload, bucket_batches
@@ -46,6 +47,9 @@ class CampaignReport:
         useful_tokens: tokens the workload actually contains.
         reliability: fault/retry accounting when the campaign ran under
             an active fault model; None on fault-free runs.
+        slo: service-impact summary (alerts fired, worst burn rate,
+            budget remaining) when the campaign carried a live monitor;
+            None otherwise.
     """
 
     platform: str
@@ -55,6 +59,7 @@ class CampaignReport:
     padded_tokens: int
     useful_tokens: int
     reliability: Optional[ReliabilityReport] = None
+    slo: Optional[SloOutcome] = None
 
     @property
     def throughput(self) -> float:
@@ -124,7 +129,8 @@ class CampaignSimulator:
 
     def run_on_prose(self, workload: Workload,
                      tracer: Optional[Tracer] = None,
-                     metrics: Optional[MetricsRegistry] = None
+                     metrics: Optional[MetricsRegistry] = None,
+                     monitor: Optional[Monitor] = None
                      ) -> CampaignReport:
         """Simulate the campaign on the configured ProSE instance.
 
@@ -146,6 +152,15 @@ class CampaignSimulator:
             metrics: optional registry accumulating the serving-latency
                 histogram (p50/p95/p99 in the dump), sequence/token
                 counters, and retry/straggler/drop counters.
+            monitor: optional live monitor (see
+                :func:`repro.monitor.serving_monitor`).  Each completed
+                batch is one sample tick: queue depth, batch latency,
+                and retry/drop counters land in the monitor's series,
+                every batch feeds the latency and availability SLOs
+                (served within ``latency_multiple x nominal`` = good),
+                and alert rules run on the campaign clock.  The monitor
+                only observes, so the campaign accounting stays
+                bit-identical with and without one.
         """
         total_seconds = 0.0
         useful_seconds = 0.0
@@ -155,7 +170,14 @@ class CampaignSimulator:
         retries = stragglers = failures = dropped = 0
         faulty = self.fault_model is not None and self.fault_model.active
         policy = self.retry_policy
-        for index, (length, batch) in enumerate(self._batches(workload)):
+        batches = self._batches(workload)
+        if monitor is not None and batches:
+            # The horizon is the fault-free campaign: every schedule here
+            # is shape-memoized, so this pre-pass costs nothing extra.
+            monitor.begin(sum(
+                self._schedule(length, batch).makespan_seconds
+                for length, batch in batches))
+        for index, (length, batch) in enumerate(batches):
             schedule = self._schedule(length, batch)
             nominal = schedule.makespan_seconds
             if faulty:
@@ -177,6 +199,34 @@ class CampaignSimulator:
                                     tid=tid, category=category,
                                     seq_len=length, batch=batch, **args)
 
+            def _monitor_tick(outcome: str) -> None:
+                # Read-only observation at the batch's end; free
+                # variables (total_seconds, completed, ...) are read at
+                # call time, after the batch's accounting settled.
+                if monitor is None:
+                    return
+                t = total_seconds
+                latency = t - batch_start
+                monitor.record(t, "serving/queue_depth",
+                               float(len(batches) - index - 1))
+                monitor.record(t, "serving/completed", float(completed))
+                monitor.record(t, "serving/retries", float(retries))
+                monitor.record(t, "serving/dropped", float(dropped))
+                if outcome != "dropped":
+                    monitor.record(t, "serving/batch_latency", latency)
+                    threshold = monitor.latency_threshold(nominal)
+                    if threshold is not None:
+                        on_time = latency <= threshold
+                        monitor.slo_event(
+                            t, "latency",
+                            good=float(batch) if on_time else 0.0,
+                            bad=0.0 if on_time else float(batch))
+                monitor.slo_event(
+                    t, "availability",
+                    good=0.0 if outcome == "dropped" else float(batch),
+                    bad=float(batch) if outcome == "dropped" else 0.0)
+                monitor.evaluate(t)
+
             if not faulty:
                 total_seconds += nominal
                 useful_seconds += nominal
@@ -187,6 +237,7 @@ class CampaignSimulator:
                 if metrics is not None:
                     metrics.histogram(
                         "serving/batch_latency_seconds").observe(nominal)
+                _monitor_tick("ok")
                 continue
             attempt = 0
             outcome = "ok"
@@ -194,6 +245,8 @@ class CampaignSimulator:
                 event = self.fault_model.batch_event()
                 if event == "fail":
                     failures += 1
+                    if monitor is not None:
+                        monitor.mark(total_seconds, "fault", batch_name)
                     partial = (self.fault_model.attempt_fraction()
                                * nominal)
                     _attempt_span(total_seconds, total_seconds + partial,
@@ -222,6 +275,8 @@ class CampaignSimulator:
                     attempt += 1
                     continue
                 if event == "straggle":
+                    if monitor is not None:
+                        monitor.mark(total_seconds, "fault", batch_name)
                     slowdown = self.fault_model.rates.straggler_slowdown
                     deadline = (policy.straggler_deadline_multiple
                                 * nominal)
@@ -267,6 +322,7 @@ class CampaignSimulator:
             if metrics is not None and outcome != "dropped":
                 metrics.histogram("serving/batch_latency_seconds").observe(
                     total_seconds - batch_start)
+            _monitor_tick(outcome)
         if metrics is not None:
             metrics.counter("serving/sequences").inc(completed)
             metrics.counter("serving/padded_tokens").inc(padded_tokens)
@@ -278,6 +334,9 @@ class CampaignSimulator:
             metrics.gauge("serving/padding_waste").set(
                 1.0 - (int(workload.lengths.sum()) / padded_tokens)
                 if padded_tokens else 0.0)
+        slo = None
+        if monitor is not None and monitor.horizon_seconds is not None:
+            slo = monitor.finalize(total_seconds).outcome()
         reliability = None
         if faulty:
             stats = self.fault_model.stats
@@ -303,7 +362,7 @@ class CampaignSimulator:
             padded_tokens=padded_tokens,
             useful_tokens=int(workload.lengths.sum()) if len(workload)
             else 0,
-            reliability=reliability)
+            reliability=reliability, slo=slo)
 
     def run_on_baseline(self, workload: Workload,
                         device: Optional[RooflineDevice] = None

@@ -36,6 +36,7 @@ from .profiling import (
 )
 from .render import default_glyph, render_tracer, render_tracks
 from .spans import SIM_CLOCK, WALL_CLOCK, Instant, Span, Tracer
+from .timeseries import TimeSeries, TimeSeriesStore, WindowStats
 
 __all__ = [
     "Counter",
@@ -48,8 +49,11 @@ __all__ = [
     "ProfileReport",
     "SIM_CLOCK",
     "Span",
+    "TimeSeries",
+    "TimeSeriesStore",
     "Tracer",
     "WALL_CLOCK",
+    "WindowStats",
     "default_glyph",
     "format_hotspots",
     "profile",

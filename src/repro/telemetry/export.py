@@ -13,6 +13,13 @@ Profile reports (:mod:`repro.telemetry.profiling`) export as an extra
 self-time functions laid end-to-end, so hotspots render next to the
 sim-time spans they explain while staying schema-valid (disjoint spans
 trivially satisfy the nesting check).
+
+Metrics and monitor time-series export as Perfetto *counter tracks*
+(``"C"`` events): registry counters and gauges become single-point
+counters under a ``metrics`` process, and each
+:class:`~repro.telemetry.timeseries.TimeSeries` becomes a stepped
+counter under a ``monitor`` process — so capacity dips and queue depths
+render as graphs directly above the spans that caused them.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from .spans import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .profiling import ProfileReport
+    from .timeseries import TimeSeriesStore
 
 #: Microseconds per (simulated or wall) second in exported timestamps.
 _MICROS = 1e6
@@ -44,7 +52,9 @@ _PROFILE_TRACK_TOP = 40
 
 def to_chrome_trace(tracer: Tracer,
                     metadata: Optional[Dict[str, object]] = None,
-                    profiles: Optional[Sequence["ProfileReport"]] = None
+                    profiles: Optional[Sequence["ProfileReport"]] = None,
+                    metrics: Optional[MetricsRegistry] = None,
+                    series: Optional["TimeSeriesStore"] = None
                     ) -> Dict[str, object]:
     """Convert a tracer's spans and instants to a Chrome-trace dict.
 
@@ -53,6 +63,12 @@ def to_chrome_trace(tracer: Tracer,
         metadata: optional run description stored under ``otherData``.
         profiles: optional profile reports; each becomes a track of
             self-time hotspot spans under a ``profile`` process.
+        metrics: optional registry; each counter and gauge becomes a
+            single-point Perfetto counter track (``"C"`` event) under a
+            ``metrics`` process.
+        series: optional monitor time-series store; every sample of
+            every series becomes a ``"C"`` event under a ``monitor``
+            process, rendering as stepped graphs in Perfetto.
 
     Returns:
         A JSON-serializable dict with ``traceEvents`` ready for
@@ -121,6 +137,31 @@ def to_chrome_trace(tracer: Tracer,
                          "clock": "self-time"},
             })
             cursor += duration
+    if metrics is not None:
+        for row in metrics.rows():
+            if row.get("type") not in ("counter", "gauge"):
+                continue
+            events.append({
+                "ph": "C",
+                "name": str(row["name"]),
+                "cat": "metrics",
+                "ts": 0.0,
+                "pid": pid_of("metrics"),
+                "tid": 0,
+                "args": {"value": float(row["value"])},
+            })
+    if series is not None:
+        for one_series in series:
+            for t, value in one_series.samples():
+                events.append({
+                    "ph": "C",
+                    "name": one_series.name,
+                    "cat": "monitor",
+                    "ts": t * _MICROS,
+                    "pid": pid_of("monitor"),
+                    "tid": 0,
+                    "args": {"value": value},
+                })
     return {"traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": dict(metadata or {})}
@@ -128,10 +169,13 @@ def to_chrome_trace(tracer: Tracer,
 
 def write_chrome_trace(tracer: Tracer, path: str,
                        metadata: Optional[Dict[str, object]] = None,
-                       profiles: Optional[Sequence["ProfileReport"]] = None
+                       profiles: Optional[Sequence["ProfileReport"]] = None,
+                       metrics: Optional[MetricsRegistry] = None,
+                       series: Optional["TimeSeriesStore"] = None
                        ) -> Dict[str, object]:
     """Write the Chrome-trace JSON to ``path``; returns the dict."""
-    data = to_chrome_trace(tracer, metadata=metadata, profiles=profiles)
+    data = to_chrome_trace(tracer, metadata=metadata, profiles=profiles,
+                           metrics=metrics, series=series)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=1)
     return data
@@ -147,9 +191,11 @@ def validate_chrome_trace(data: Dict[str, object]) -> Dict[str, int]:
     Checks the JSON-object schema (required keys and types per event
     phase) and, per (pid, tid) track, that complete events are properly
     nested: any two spans on one track either nest or are disjoint.
+    Counter events (``"C"``) must carry a non-empty ``args`` object of
+    numeric values.
 
     Returns:
-        Summary counts: spans, instants, processes, tracks.
+        Summary counts: spans, instants, counters, processes, tracks.
 
     Raises:
         ValueError: on any schema or nesting violation.
@@ -161,12 +207,13 @@ def validate_chrome_trace(data: Dict[str, object]) -> Dict[str, int]:
         raise ValueError("traceEvents must be a list")
 
     spans: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
-    counts = {"spans": 0, "instants": 0, "processes": 0, "tracks": 0}
+    counts = {"spans": 0, "instants": 0, "counters": 0, "processes": 0,
+              "tracks": 0}
     for index, event in enumerate(trace_events):
         if not isinstance(event, dict):
             raise ValueError(f"event #{index} is not an object")
         phase = event.get("ph")
-        if phase not in ("X", "i", "M"):
+        if phase not in ("X", "i", "M", "C"):
             raise ValueError(f"event #{index}: unsupported phase {phase!r}")
         if not isinstance(event.get("name"), str):
             raise ValueError(f"event #{index}: missing string 'name'")
@@ -184,6 +231,20 @@ def validate_chrome_trace(data: Dict[str, object]) -> Dict[str, int]:
             raise ValueError(f"event #{index}: bad ts {ts!r}")
         if phase == "i":
             counts["instants"] += 1
+            continue
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"event #{index}: counter needs a non-empty args "
+                    f"object")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    raise ValueError(
+                        f"event #{index}: counter value '{key}' must be "
+                        f"numeric, got {value!r}")
+            counts["counters"] += 1
             continue
         dur = event.get("dur")
         if not isinstance(dur, (int, float)) or dur < 0:

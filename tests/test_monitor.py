@@ -1,0 +1,322 @@
+"""Tests for the monitoring layer: SLOs, burn-rate alerts, simulators.
+
+The headline invariants: enabling a monitor changes *no* simulated
+number (bit-parity), every chaos scenario pages after its fault, and
+the whole pipeline is deterministic per seed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import alert_timelines
+from repro.fleet import FleetSimulator, build_fleet, build_scenario
+from repro.model.config import protein_bert_tiny
+from repro.monitor import (
+    PAGE,
+    TICKET,
+    BurnRateRule,
+    Monitor,
+    SLO,
+    ThresholdRule,
+    budget_gauge,
+    fleet_monitor,
+    format_alert_report,
+    render_dashboard,
+    serving_monitor,
+    sparkline,
+)
+from repro.proteins.workloads import screening_campaign
+from repro.reliability import (
+    DegradationPolicy,
+    FaultModel,
+    FaultRates,
+    RetryPolicy,
+    derive_task_seed,
+)
+from repro.system.serving import CampaignSimulator
+from repro.telemetry import TimeSeries
+
+TINY = protein_bert_tiny()
+
+CHAOS_SCENARIOS = ("rack_power_loss", "link_flap_storm", "slow_node",
+                   "rolling_restart")
+
+
+class TestDeclarations:
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", objective="made-up")
+        with pytest.raises(ValueError):
+            SLO(name="x", target=1.0)
+        with pytest.raises(ValueError):
+            SLO(name="x", latency_multiple=0.5)
+        assert SLO(name="x", target=0.99).budget_fraction \
+            == pytest.approx(0.01)
+
+    def test_burn_rule_validation(self):
+        with pytest.raises(ValueError, match="short <= long"):
+            BurnRateRule(name="r", slo="x", long_window_fraction=0.01,
+                         short_window_fraction=0.05)
+        with pytest.raises(ValueError):
+            BurnRateRule(name="r", slo="x", burn_threshold=0.0)
+        with pytest.raises(ValueError):
+            BurnRateRule(name="r", slo="x", severity="email")
+
+    def test_threshold_rule_ops(self):
+        rule = ThresholdRule(name="r", series="s", op=">=", threshold=2.0)
+        assert rule.violated(2.0) and rule.violated(3.0)
+        assert not rule.violated(1.0)
+        with pytest.raises(ValueError):
+            ThresholdRule(name="r", series="s", op="!=")
+
+    def test_monitor_rejects_unknown_slo_reference(self):
+        with pytest.raises(ValueError, match="unknown SLO"):
+            Monitor(rules=(BurnRateRule(name="r", slo="ghost"),))
+
+    def test_monitor_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate SLO"):
+            Monitor(slos=(SLO(name="a"), SLO(name="a")))
+        with pytest.raises(ValueError, match="duplicate rule"):
+            Monitor(rules=(ThresholdRule(name="r", series="s"),
+                           ThresholdRule(name="r", series="t")))
+
+
+class TestMonitorLifecycle:
+    def test_must_begin_before_use(self):
+        monitor = Monitor()
+        with pytest.raises(ValueError, match="begin"):
+            monitor.record(0.0, "s", 1.0)
+        with pytest.raises(ValueError, match="begin"):
+            monitor.evaluate(0.0)
+
+    def test_begin_twice_raises(self):
+        monitor = Monitor()
+        monitor.begin(1.0)
+        with pytest.raises(ValueError, match="already armed"):
+            monitor.begin(1.0)
+
+    def test_sample_interval_from_horizon(self):
+        monitor = Monitor(samples=128)
+        monitor.begin(12.8)
+        assert monitor.sample_interval == pytest.approx(0.1)
+
+    def test_unknown_slo_event_is_a_no_op(self):
+        monitor = Monitor(slos=(SLO(name="availability"),))
+        monitor.begin(1.0)
+        monitor.slo_event(0.1, "ghost", good=1.0)  # must not raise
+
+
+class TestBurnRateAlerting:
+    def _monitor(self):
+        monitor = Monitor(
+            slos=(SLO(name="availability", target=0.9),),
+            rules=(BurnRateRule(name="fast", slo="availability",
+                                severity=PAGE, burn_threshold=2.0,
+                                long_window_fraction=1.0,
+                                short_window_fraction=0.5),),
+            samples=4)
+        monitor.begin(1.0)
+        return monitor
+
+    def test_fires_then_resolves(self):
+        monitor = self._monitor()
+        # Half the events are bad: error rate 0.5 over a 0.1 budget is
+        # burn 5.0, over threshold in both windows -> page.
+        monitor.slo_event(0.5, "availability", good=1.0, bad=1.0)
+        fired = monitor.evaluate(0.5)
+        assert len(fired) == 1
+        assert fired[0].severity == PAGE
+        assert fired[0].value == pytest.approx(5.0)
+        assert fired[0].active
+        # A flood of good events dilutes both windows below threshold.
+        monitor.slo_event(1.0, "availability", good=10.0)
+        assert monitor.evaluate(1.0) == ()
+        assert monitor.alerts[0].resolved_at == pytest.approx(1.0)
+        assert not monitor.alerts[0].active
+
+    def test_budget_accounting(self):
+        monitor = self._monitor()
+        monitor.slo_event(0.5, "availability", good=1.0, bad=1.0)
+        monitor.evaluate(0.5)
+        monitor.slo_event(1.0, "availability", good=10.0)
+        monitor.evaluate(1.0)
+        report = monitor.finalize(1.0)
+        (budget,) = report.budgets
+        # 1 bad of 12 total against a 10% budget: 1 / 1.2 consumed.
+        assert budget.consumed_fraction == pytest.approx(1.0 / 1.2)
+        assert budget.remaining_fraction == pytest.approx(1.0 - 1.0 / 1.2)
+        assert report.worst_burn_rate == pytest.approx(5.0)
+
+    def test_no_events_no_alerts(self):
+        monitor = self._monitor()
+        assert monitor.evaluate(0.5) == ()
+        assert monitor.finalize(1.0).alerts == ()
+
+
+class TestThresholdAlerting:
+    def test_edge_triggered_refire_appends_new_alert(self):
+        monitor = Monitor(rules=(ThresholdRule(name="shed",
+                                               series="fleet/shed",
+                                               op=">", threshold=0.0,
+                                               severity=TICKET),),
+                          samples=8)
+        monitor.begin(1.0)
+        monitor.record(0.1, "fleet/shed", 0.0)
+        assert monitor.evaluate(0.1) == ()
+        monitor.record(0.2, "fleet/shed", 1.0)
+        assert len(monitor.evaluate(0.2)) == 1
+        monitor.record(0.3, "fleet/shed", 0.0)
+        monitor.evaluate(0.3)
+        monitor.record(0.4, "fleet/shed", 3.0)
+        monitor.evaluate(0.4)
+        assert len(monitor.alerts) == 2  # two activations, two alerts
+        first, second = monitor.alerts
+        assert first.resolved_at == pytest.approx(0.3)
+        assert second.fired_at == pytest.approx(0.4)
+        assert second.active
+        assert second.peak_value == pytest.approx(3.0)
+
+
+def tiny_simulator(scenario_name=None, seed=2022):
+    topology = build_fleet(racks=2, hosts_per_rack=2,
+                           instances_per_host=2)
+    simulator = FleetSimulator(
+        topology, model_config=TINY,
+        fault_model=FaultModel(FaultRates(),
+                               seed=derive_task_seed(seed, "monitor")),
+        policy=DegradationPolicy(min_capacity_fraction=0.25),
+        seq_len=64, reference_batch=4)
+    scenario = (build_scenario(scenario_name, topology)
+                if scenario_name else None)
+    return simulator, scenario
+
+
+class TestFleetIntegration:
+    @pytest.mark.parametrize("name", (None,) + CHAOS_SCENARIOS)
+    def test_monitoring_is_bit_identical(self, name):
+        simulator, scenario = tiny_simulator(name)
+        bare = simulator.run(batch=64, scenario=scenario)
+        monitored = simulator.run(batch=64, scenario=scenario,
+                                  monitor=fleet_monitor())
+        assert monitored.slo is not None
+        assert dataclasses.replace(monitored, slo=None) == bare
+
+    @pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+    def test_every_chaos_scenario_pages_after_its_fault(self, name):
+        simulator, scenario = tiny_simulator(name)
+        monitor = fleet_monitor()
+        report = simulator.run(batch=64, scenario=scenario,
+                               monitor=monitor)
+        outcome = report.slo
+        assert outcome.pages >= 1, outcome.summary()
+        assert outcome.fault_seconds is not None
+        assert outcome.first_page_seconds is not None
+        assert outcome.page_delay_seconds >= 0.0
+        assert outcome.worst_burn_rate > 1.0
+        assert monitor.report().first_alert(PAGE) is not None
+
+    def test_clean_run_stays_quiet(self):
+        simulator, _ = tiny_simulator(None)
+        report = simulator.run(batch=64, monitor=fleet_monitor())
+        assert report.slo.alerts == 0
+        assert report.slo.budget_remaining == pytest.approx(1.0)
+        assert "alerts=0" in report.summary()
+
+    def test_deterministic_per_seed(self):
+        first = tiny_simulator("rack_power_loss")
+        second = tiny_simulator("rack_power_loss")
+        report_a = first[0].run(batch=64, scenario=first[1],
+                                monitor=fleet_monitor())
+        report_b = second[0].run(batch=64, scenario=second[1],
+                                 monitor=fleet_monitor())
+        assert report_a == report_b
+
+    def test_summary_mentions_slo_outcome(self):
+        simulator, scenario = tiny_simulator("rack_power_loss")
+        report = simulator.run(batch=64, scenario=scenario,
+                               monitor=fleet_monitor())
+        text = report.summary()
+        assert "pages=" in text and "budget_left=" in text
+
+
+class TestServingIntegration:
+    def _simulator(self, rate=0.15, seed=11):
+        fault_model = FaultModel(
+            FaultRates(batch_failure=rate, straggler=rate,
+                       link_transient=rate / 10.0),
+            seed=derive_task_seed(seed, rate))
+        config = protein_bert_tiny(max_position=2048)
+        return CampaignSimulator(
+            model_config=config, max_batch=8, fault_model=fault_model,
+            retry_policy=RetryPolicy(backoff_base_seconds=0.002,
+                                     backoff_cap_seconds=0.05))
+
+    def test_monitoring_is_bit_identical(self):
+        workload = screening_campaign(library_size=32, seed=11)
+        bare = self._simulator().run_on_prose(workload)
+        monitored = self._simulator().run_on_prose(
+            workload, monitor=serving_monitor())
+        assert monitored.slo is not None
+        assert dataclasses.replace(monitored, slo=None) == bare
+
+    def test_faulty_campaign_burns_budget(self):
+        workload = screening_campaign(library_size=32, seed=11)
+        monitor = serving_monitor()
+        report = self._simulator().run_on_prose(workload, monitor=monitor)
+        assert report.slo.worst_burn_rate > 0.0
+        budgets = {b.slo: b for b in monitor.report().budgets}
+        assert set(budgets) == {"latency", "availability"}
+
+
+class TestAlertTimelinesExperiment:
+    def test_timeline_table_covers_every_scenario(self):
+        result = alert_timelines.run(batch=64)
+        text = alert_timelines.format_result(result)
+        assert "baseline" in text
+        for name in CHAOS_SCENARIOS:
+            assert name in text
+        assert "fault ms" in text and "page lag" in text
+        by_name = dict(zip(result.scenarios, result.outcomes))
+        assert by_name["baseline"].pages == 0
+        for name in CHAOS_SCENARIOS:
+            assert by_name[name].pages >= 1
+
+
+class TestDashboard:
+    def test_sparkline_shapes(self):
+        series = TimeSeries("s")
+        assert sparkline(series, width=8) == " " * 8
+        series.append(0.0, 5.0)
+        series.append(1.0, 5.0)
+        flat = sparkline(series, width=8, end=1.0)
+        assert len(flat) == 8 and len(set(flat)) == 1  # constant: flat
+        series.append(2.0, 50.0)
+        strip = sparkline(series, width=8, end=2.0)
+        assert strip[-1] == "█"  # peak renders as the tallest glyph
+
+    def test_budget_gauge(self):
+        assert budget_gauge(1.0, width=4) == "[####]"
+        assert budget_gauge(0.0, width=4) == "[....]"
+        assert budget_gauge(0.5, width=4) == "[##..]"
+        assert budget_gauge(-1.0, width=4) == "[....]"  # clamped
+
+    def test_dashboard_and_alert_report_render(self):
+        simulator, scenario = tiny_simulator("rack_power_loss")
+        monitor = fleet_monitor()
+        simulator.run(batch=64, scenario=scenario, monitor=monitor)
+        text = render_dashboard(monitor, width=24)
+        assert "monitor 'fleet'" in text
+        assert "fleet/capacity_fraction" in text
+        assert "error budgets" in text
+        assert "availability" in text
+        report_text = format_alert_report(monitor.report())
+        assert "mark" in report_text and "fault" in report_text
+        assert "after fault" in report_text
+
+    def test_empty_alert_report(self):
+        monitor = Monitor(samples=2)
+        monitor.begin(1.0)
+        monitor.evaluate(1.0)
+        assert "(no alerts fired)" in format_alert_report(
+            monitor.finalize(1.0))

@@ -437,7 +437,7 @@ class TestExport:
                            metadata={"run": "test"})
         data = json.loads(path.read_text())
         counts = validate_chrome_trace(data)
-        assert counts == {"spans": 2, "instants": 1,
+        assert counts == {"spans": 2, "instants": 1, "counters": 0,
                           "processes": 1, "tracks": 1}
         assert data["otherData"] == {"run": "test"}
 
