@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -59,7 +59,7 @@ class LutSpec:
     below_positive: float
     below_negative: float
     #: Outputs for inputs above the window.  ``None`` means "identity".
-    above_positive: float = None  # type: ignore[assignment]
+    above_positive: Optional[float] = None
     above_negative: float = 0.0
 
     @property
@@ -120,6 +120,45 @@ class SpecialFunctionLut:
                 # memoize); freeze them so sharing stays safe.
                 outputs.setflags(write=False)
                 self._tables[(sign, biased)] = outputs
+        self._dense = self._build_dense()
+
+    def _build_dense(self) -> np.ndarray:
+        """Flatten the two-level tables into one dense 65,536-entry array.
+
+        A bfloat16 value is identified by the high 16 bits of its float32
+        pattern: 1 sign + 8 exponent + 7 mantissa.  Indexing the dense
+        table with ``bits >> 16`` therefore evaluates sign/window routing
+        *and* the two-level lookup in a single gather.  Out-of-window and
+        identity regions are baked in here, mirroring
+        :meth:`lookup_grouped` exactly; the in-window runs are the very
+        second-level tables built above, scattered at
+        ``(sign << 15) | (biased_exponent << 7)`` (the mantissa occupies
+        the low 7 index bits, so each table lands as one contiguous run).
+        """
+        spec = self.spec
+        low, high = spec.exponent_window
+        index = np.arange(1 << 16, dtype=np.uint32)
+        signs = index >> np.uint32(15)
+        unbiased = ((index >> np.uint32(7)) & np.uint32(0xFF)).astype(
+            np.int64) - EXPONENT_BIAS
+        as_float = (index << np.uint32(16)).view(np.float32)
+
+        dense = np.empty(1 << 16, dtype=np.float32)
+        below = unbiased < low
+        dense[below & (signs == 0)] = spec.below_positive
+        dense[below & (signs == 1)] = spec.below_negative
+        above = unbiased > high
+        above_pos = above & (signs == 0)
+        if spec.above_positive is None:
+            dense[above_pos] = as_float[above_pos]
+        else:
+            dense[above_pos] = spec.above_positive
+        dense[above & (signs == 1)] = spec.above_negative
+        for (sign, biased), table in self._tables.items():
+            base = (sign << 15) | (biased << BF16_MANTISSA_BITS)
+            dense[base:base + MANTISSA_ENTRIES] = table
+        dense.setflags(write=False)
+        return dense
 
     @property
     def table_bytes(self) -> int:
@@ -135,12 +174,31 @@ class SpecialFunctionLut:
         result = self.lookup(np.array([value], dtype=np.float32))
         return float(result[0])
 
-    def lookup(self, values: np.ndarray) -> np.ndarray:
+    def lookup(self, values: np.ndarray,
+               assume_bf16: bool = False) -> np.ndarray:
         """Vectorized table evaluation over bfloat16 inputs.
 
-        Inputs are first rounded to bfloat16 (the datapath carries bf16), the
-        (sign, exponent, mantissa) fields are extracted, and each element is
-        routed to the in-window table or the out-of-window approximation.
+        Inputs are rounded to bfloat16 (the datapath carries bf16) and the
+        high 16 bits of each float32 pattern index the dense table — one
+        fancy-index gather evaluates the whole tensor.  Callers whose
+        values are already exact bfloat16 patterns (e.g. prior SIMD-stage
+        outputs) pass ``assume_bf16=True`` to skip the redundant rounding;
+        ``to_bfloat16`` is idempotent, so the results are identical.
+        """
+        array = np.asarray(values, dtype=np.float32)
+        if not assume_bf16:
+            array = to_bfloat16(array)
+        flat = np.ascontiguousarray(array).ravel()
+        bits = flat.view(np.uint32)
+        return self._dense[bits >> np.uint32(16)].reshape(np.shape(array))
+
+    def lookup_grouped(self, values: np.ndarray) -> np.ndarray:
+        """Legacy two-level evaluation (reference for parity tests).
+
+        Extracts the (sign, exponent, mantissa) fields and routes each
+        element to the in-window table or the out-of-window approximation,
+        gathering one (sign, exponent) group at a time — the code the
+        dense table in :meth:`lookup` was flattened from.
         """
         spec = self.spec
         array = to_bfloat16(np.asarray(values, dtype=np.float32))

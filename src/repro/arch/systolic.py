@@ -128,27 +128,37 @@ class SystolicArray:
             stats.mac_operations += m * k * n_out
             stats.streamed_bytes += 2 * (rows * self.size * k      # A tiles
                                          + tiles * k * self.size)  # B tiles
-        return result.astype(np.float32)
+        return result.astype(np.float32, copy=False)
 
     def simd(self, resident: np.ndarray, step: SimdStep,
-             stats: Optional[ExecutionStats] = None) -> np.ndarray:
+             stats: Optional[ExecutionStats] = None,
+             assume_bf16: bool = False) -> np.ndarray:
         """Apply one SIMD/special-function step to the resident matrix.
 
         The accumulators hold fp32 values; ALU inputs and outputs are
         bfloat16, matching the left-rotation datapath of Figure 5(c).
+
+        ``assume_bf16=True`` skips the input rounding when the caller
+        knows ``resident`` already holds exact bfloat16 patterns (every
+        SIMD output is one — ADD/MUL round through ``to_bfloat16``, LUT
+        results are bf16 table entries, and fault injection only flips
+        bits within the bf16 pattern).  ``to_bfloat16`` is idempotent, so
+        the elision is bit-identical.
         """
         resident = np.asarray(resident, dtype=np.float32)
-        values = to_bfloat16(resident)
+        values = resident if assume_bf16 else to_bfloat16(resident)
         if step.opcode is SimdOpcode.GELU:
             if self._gelu is None:
                 raise ValueError(
                     f"{self.array_type.value}-Type array has no GELU LUT")
-            result = self._maybe_corrupt_lut(self._gelu.lookup(values))
+            result = self._maybe_corrupt_lut(
+                self._gelu.lookup(values, assume_bf16=True))
         elif step.opcode is SimdOpcode.EXP:
             if self._exp is None:
                 raise ValueError(
                     f"{self.array_type.value}-Type array has no Exp LUT")
-            result = self._maybe_corrupt_lut(self._exp.lookup(values))
+            result = self._maybe_corrupt_lut(
+                self._exp.lookup(values, assume_bf16=True))
         else:
             operand = step.operand
             if operand is None:
@@ -181,13 +191,21 @@ class SystolicArray:
         This is the paper's central mechanism: the GEMM result never leaves
         the accumulators; each chained elementwise op reads and rewrites
         them via left rotation, with zero intermediate traffic to the host.
+
+        Only the first SIMD step rounds its input: the GEMM result carries
+        fp32 accumulations, but every step *output* is already exact
+        bfloat16, so subsequent steps (and the final read-out) skip the
+        redundant re-rounding.
         """
         resident = self.matmul(a, b, stats)
+        is_bf16 = False
         for step in steps:
-            resident = self.simd(resident, step, stats)
+            resident = self.simd(resident, step, stats,
+                                 assume_bf16=is_bf16)
+            is_bf16 = True
         if stats is not None:
             stats.streamed_bytes += 2 * int(np.prod(resident.shape))
-        return to_bfloat16(resident)
+        return resident if is_bf16 else to_bfloat16(resident)
 
     def _maybe_corrupt_lut(self, result: np.ndarray) -> np.ndarray:
         """Inject silent LUT-output bit flips when a fault model is active."""

@@ -22,7 +22,7 @@ summation/division the host performs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..dataflow.patterns import Dataflow, DataflowKind
@@ -53,27 +53,38 @@ class Segment:
 
 @dataclass(frozen=True)
 class DataflowTiming:
-    """Complete timing decomposition of one dataflow on one array."""
+    """Complete timing decomposition of one dataflow on one array.
+
+    The per-segment aggregates (stream bytes, accel/host compute seconds,
+    accel dispatch count) are precomputed once at construction: the
+    orchestrator reads them per placement *and* per earliest-finish
+    projection, which used to re-sum the segment generators thousands of
+    times per schedule.
+    """
 
     dataflow_name: str
     array_size: int
     segments: Tuple[Segment, ...]
     matmul_cycles: int
     simd_cycles: int
+    total_stream_bytes: int = field(init=False)
+    accel_compute_seconds: float = field(init=False)
+    host_compute_seconds: float = field(init=False)
+    #: Number of accelerator segments (= host-link dispatches performed).
+    accel_segments: int = field(init=False)
 
-    @property
-    def total_stream_bytes(self) -> int:
-        return sum(segment.stream_bytes for segment in self.segments)
-
-    @property
-    def accel_compute_seconds(self) -> float:
-        return sum(s.compute_seconds for s in self.segments
-                   if s.resource == "accel")
-
-    @property
-    def host_compute_seconds(self) -> float:
-        return sum(s.compute_seconds for s in self.segments
-                   if s.resource == "host")
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "total_stream_bytes",
+                           sum(s.stream_bytes for s in self.segments))
+        object.__setattr__(self, "accel_compute_seconds",
+                           sum(s.compute_seconds for s in self.segments
+                               if s.resource == "accel"))
+        object.__setattr__(self, "host_compute_seconds",
+                           sum(s.compute_seconds for s in self.segments
+                               if s.resource == "host"))
+        object.__setattr__(self, "accel_segments",
+                           sum(1 for s in self.segments
+                               if s.resource == "accel"))
 
     def bound_total_seconds(self, type_bandwidth: float) -> float:
         """Lower-bound latency: per-segment max(compute, stream)."""
@@ -88,6 +99,22 @@ class DataflowTiming:
 def _is_vector_operand(op: Op) -> bool:
     """True for elementwise ops whose streamed operand is a vector (bias)."""
     return any(key == "vector_operand" for key, _ in op.metadata)
+
+
+def dataflow_signature(dataflow: Dataflow) -> Tuple:
+    """Content key under which two dataflows share a timing decomposition.
+
+    :func:`time_dataflow` reads only the op sequence (kind, shape,
+    metadata), the dataflow kind (Dataflow 3 splits around its host
+    segment), and the host-op FLOP counts — never the name or layer
+    index.  Dataflows with equal signatures therefore time identically on
+    a given array size and hardware config, which lets the orchestrator
+    compute one :class:`DataflowTiming` for the 12 identical encoder
+    layers instead of 12.
+    """
+    return (dataflow.kind,
+            tuple((op.kind, op.shape, op.metadata) for op in dataflow.ops),
+            tuple(op.flops for op in dataflow.host_ops))
 
 
 def gemm_tiles(op: Op, array_size: int) -> Tuple[int, int, int]:

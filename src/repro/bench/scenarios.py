@@ -289,6 +289,68 @@ def scenario_fleet_simulate() -> float:
     return float(report.makespan_seconds)
 
 
+def _setup_lut_lookup() -> None:
+    from ..arch.lut import make_exp_lut, make_gelu_lut
+
+    rng = np.random.default_rng(SEED)
+    # Mix of magnitudes spanning in-window, below-window, and above-window
+    # exponents for both LUTs, both signs.
+    values = np.concatenate([
+        rng.standard_normal(131072).astype(np.float32),          # in-window
+        rng.standard_normal(65536).astype(np.float32) * 1e-4,    # below
+        rng.standard_normal(65536).astype(np.float32) * 1e4,     # above
+    ])
+    rng.shuffle(values)
+    _STATE["lut_lookup"] = (make_gelu_lut(), make_exp_lut(),
+                            values.reshape(512, 512))
+
+
+@register("lut_lookup",
+          "dense bulk LUT gather: GELU + Exp over a 512x512 bf16 tensor "
+          "spanning all exponent regions",
+          setup=_setup_lut_lookup, tags=(FAST_TAG,))
+def scenario_lut_lookup() -> float:
+    state = _STATE.get("lut_lookup")
+    if state is None:
+        _setup_lut_lookup()
+        state = _STATE["lut_lookup"]
+    gelu, exp, values = state
+    gelu_out = gelu.lookup(values)
+    # exp over -|x| keeps every output finite (saturating positives would
+    # swamp the fingerprint sum with BF16_MAX).
+    exp_out = exp.lookup(-np.abs(values))
+    return float(np.abs(gelu_out).sum() + exp_out.sum())
+
+
+def _setup_timeline_reserve() -> None:
+    rng = np.random.default_rng(SEED)
+    ready = np.cumsum(rng.uniform(0.5, 1.5, size=10000))
+    # ~5% of requests rewind: an earlier-ready thread backfilling a gap.
+    rewind = rng.random(10000) < 0.05
+    ready[rewind] *= rng.uniform(0.2, 0.8, size=int(rewind.sum()))
+    durations = rng.uniform(0.1, 2.0, size=10000)
+    _STATE["timeline_reserve"] = (ready.tolist(), durations.tolist())
+
+
+@register("timeline_reserve",
+          "10k gap-aware Timeline reservations (~5% out-of-order backfills)",
+          setup=_setup_timeline_reserve, tags=(FAST_TAG,))
+def scenario_timeline_reserve() -> float:
+    from ..sched.events import Timeline
+
+    state = _STATE.get("timeline_reserve")
+    if state is None:
+        _setup_timeline_reserve()
+        state = _STATE["timeline_reserve"]
+    ready, durations = state
+    timeline = Timeline("bench")
+    total = 0.0
+    for earliest, duration in zip(ready, durations):
+        start, _end = timeline.reserve(earliest, duration)
+        total += start
+    return total + timeline.busy_seconds
+
+
 @register("monitor_overhead",
           "fleet_simulate with a live SLO monitor attached: time-series "
           "sampling + burn-rate alerting on top of the same run",

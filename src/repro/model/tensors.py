@@ -30,8 +30,9 @@ def to_bfloat16(values: np.ndarray) -> np.ndarray:
     bits = array.view(np.uint32)
     lsb = (bits >> np.uint32(16)) & np.uint32(1)
     rounded = bits + np.uint32(0x7FFF) + lsb
-    truncated = rounded & np.uint32(0xFFFF0000)
-    result = truncated.view(np.float32).copy()
+    # `rounded & mask` allocates a fresh buffer, so viewing it as float32
+    # needs no defensive copy.
+    result = (rounded & np.uint32(0xFFFF0000)).view(np.float32)
     nan_mask = np.isnan(array)
     if nan_mask.any():
         result[nan_mask] = np.float32("nan")

@@ -15,17 +15,18 @@ sweet spot.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..arch.config import HardwareConfig
 from ..arch.interconnect import DISPATCH_OVERHEAD_SECONDS
-from ..arch.timing import DataflowTiming, time_dataflow
+from ..arch.timing import DataflowTiming, dataflow_signature, time_dataflow
 from ..dataflow.graph import DataflowGraph, HostTask
 from ..dataflow.patterns import ArrayType, Dataflow
 from ..model.config import BertConfig
 from ..telemetry import MetricsRegistry, Tracer
-from .events import Pool, Timeline, common_start
+from .events import Pool, Timeline, reserve_pair, reserve_pair2
 from .host import HostModel
 
 #: Default growth of per-dispatch mutex overhead per extra thread.
@@ -221,7 +222,21 @@ class Orchestrator:
 
         per_dispatch = self.dispatch_overhead * (
             1.0 + self.contention_coefficient * (thread_count - 1))
-        timing_cache: Dict[Tuple[int, int, int], DataflowTiming] = {}
+        # Timings are memoized by *content* signature (shape/op tuple), not
+        # node identity, so the identical encoder layers share one entry.
+        # Each distinct node object additionally interns a placement *plan*
+        # (signature, candidate members, channel, bandwidth, kind label,
+        # uniform-size timing) so none of it is recomputed per dispatch.
+        timing_cache: Dict[Tuple[int, int], DataflowTiming] = {}
+        interned_signatures: Dict[Tuple, int] = {}
+        # Keyed by node identity; a float is an interned HostTask duration,
+        # a tuple is a dataflow placement plan.
+        node_plans: Dict[int, object] = {}
+        pooled_members: Optional[List[Tuple[Timeline, int]]] = None
+        if self.hardware.pooled:
+            # Homogeneous baseline: every array carries both LUT kinds and
+            # can execute any dataflow (Table 2's 64×64 GELU+Exp row).
+            pooled_members = [m for group in arrays.values() for m in group]
         total_bytes = 0
         total_dispatches = 0
         contention_seconds = 0.0
@@ -232,10 +247,12 @@ class Orchestrator:
         # walks its own graph serially (Figure 8); at every step the thread
         # whose next dataflow becomes ready soonest dispatches next, which
         # is how the mutex-guarded I/O buffers hand out work in practice.
-        import heapq
-
         finishes: List[List[float]] = [[0.0] * len(graphs[sub])
                                        for sub in sub_batches]
+        # Per-thread node tuples and lengths, hoisted out of the loop so
+        # the per-dispatch accesses are plain tuple/list indexing.
+        thread_nodes = [graphs[sub].nodes for sub in sub_batches]
+        thread_node_counts = [len(nodes) for nodes in thread_nodes]
         pointers = [0] * thread_count
         clocks = [0.0] * thread_count
         task_log: List[TaskRecord] = []
@@ -244,17 +261,30 @@ class Orchestrator:
         while heap:
             ready, thread_index = heapq.heappop(heap)
             sub = sub_batches[thread_index]
-            graph = graphs[sub]
+            nodes = thread_nodes[thread_index]
             node_index = pointers[thread_index]
-            node = graph[node_index]
+            node = nodes[node_index]
             finish = finishes[thread_index]
-            actual_ready = max(
-                max((finish[d] for d in node.deps), default=0.0),
-                clocks[thread_index])
-            if isinstance(node, HostTask):
-                duration = self.host.task_seconds(node.ops)
+            # The popped key *is* the ready time: deps live in the same
+            # thread's graph and the thread walks it serially in index
+            # order, so every dep had its final finish time (and the
+            # thread its final clock) when the key was pushed.
+            actual_ready = ready
+            plan = node_plans.get(id(node))
+            if plan is None:
+                if isinstance(node, HostTask):
+                    # float() normalizes sum()'s int 0 for op-less tasks:
+                    # a float plan *is* the type tag for the host branch.
+                    plan = float(self.host.task_seconds(node.ops))
+                else:
+                    plan = self._build_plan(node, arrays, pooled_members,
+                                            channels, timing_cache,
+                                            interned_signatures,
+                                            per_dispatch)
+                node_plans[id(node)] = plan
+            if type(plan) is float:
                 start, end, server = host_pool.reserve_named(
-                    actual_ready, duration)
+                    actual_ready, plan)
                 resource_label = "host"
                 kind_label = "host"
                 if tracer is not None:
@@ -263,16 +293,21 @@ class Orchestrator:
                         pid=trace_pid, tid=server, category="host",
                         ops=len(node.ops), flops=node.flops)
             else:
-                start, end, resource_label = self._schedule_dataflow(
-                    node, actual_ready, sub, node_index, arrays, channels,
-                    host_pool, timing_cache, per_dispatch,
-                    tracer=tracer, trace_pid=trace_pid,
-                    trace_offset=trace_offset)
-                kind_label = node.kind.value
-                timing = timing_cache[(sub, node_index, self._last_size)]
+                if tracer is None:
+                    start, end, resource_label, timing = \
+                        self._schedule_dataflow_fast(
+                            node, actual_ready, plan, host_pool,
+                            timing_cache, per_dispatch)
+                else:
+                    start, end, resource_label, timing = \
+                        self._schedule_dataflow(
+                            node, actual_ready, sub, node_index, plan,
+                            host_pool, timing_cache, per_dispatch,
+                            tracer=tracer, trace_pid=trace_pid,
+                            trace_offset=trace_offset)
+                kind_label = plan[4]
                 total_bytes += timing.total_stream_bytes
-                accel_segments = sum(
-                    1 for s in timing.segments if s.resource == "accel")
+                accel_segments = timing.accel_segments
                 total_dispatches += accel_segments
                 contention_seconds += per_dispatch * accel_segments
                 kind_compute[kind_label] = (
@@ -294,13 +329,19 @@ class Orchestrator:
                 metrics.histogram("sched/task_seconds").observe(end - start)
             finish[node_index] = end
             clocks[thread_index] = end
-            makespan = max(makespan, end)
-            pointers[thread_index] += 1
-            if pointers[thread_index] < len(graph):
-                next_node = graph[pointers[thread_index]]
-                next_ready = max(
-                    max((finish[d] for d in next_node.deps), default=0.0),
-                    clocks[thread_index])
+            if end > makespan:
+                makespan = end
+            next_index = node_index + 1
+            pointers[thread_index] = next_index
+            if next_index < thread_node_counts[thread_index]:
+                next_node = nodes[next_index]
+                # max(dep finishes, thread clock); `end` is the clock, and
+                # it never loses a tie, matching the old max(...) exactly.
+                next_ready = end
+                for dep in next_node.deps:
+                    dep_finish = finish[dep]
+                    if dep_finish > next_ready:
+                        next_ready = dep_finish
                 heapq.heappush(heap, (next_ready, thread_index))
 
         array_util = {}
@@ -354,17 +395,155 @@ class Orchestrator:
 
     # ------------------------------------------------------------------
 
+    def _build_plan(self, dataflow: Dataflow,
+                    arrays: Dict[ArrayType, List[Tuple[Timeline, int]]],
+                    pooled_members: Optional[List[Tuple[Timeline, int]]],
+                    channels: Dict[ArrayType, Timeline],
+                    cache: Dict[Tuple[int, int], DataflowTiming],
+                    interned_signatures: Dict[Tuple, int],
+                    per_dispatch: float) -> Tuple:
+        """Intern everything about placing ``dataflow`` that is invariant
+        across dispatches: its content signature, the candidate arrays,
+        the link channel, the channel bandwidth, the kind label, and —
+        when every candidate has the same size under the earliest-finish
+        policy — the one shared :class:`DataflowTiming` plus the fully
+        folded per-segment reservation constants (channel hold and joint
+        duration depend only on the timing, the bandwidth, and the run's
+        per-dispatch overhead, so they are computed once here with the
+        exact float expressions the dispatch loop used)."""
+        content = dataflow_signature(dataflow)
+        signature = interned_signatures.get(content)
+        if signature is None:
+            signature = len(interned_signatures)
+            interned_signatures[content] = signature
+        array_type = dataflow.array_type
+        members = (pooled_members if pooled_members is not None
+                   else arrays[array_type])
+        if not members:
+            raise ValueError(
+                f"no {array_type.value}-Type arrays provisioned")
+        bandwidth = self.hardware.type_bandwidth(array_type)
+        uniform_timing: Optional[DataflowTiming] = None
+        seg_plan: Optional[Tuple[Tuple[bool, float, float], ...]] = None
+        sizes = {size for _, size in members}
+        if len(sizes) == 1 and self.policy == "earliest_finish":
+            uniform_timing = self._timing(dataflow, next(iter(sizes)),
+                                          signature, cache)
+            folded = []
+            for segment in uniform_timing.segments:
+                if segment.resource == "host":
+                    folded.append((True, segment.compute_seconds, 0.0))
+                    continue
+                stream_seconds = (segment.stream_bytes / bandwidth
+                                  if bandwidth > 0 else 0.0)
+                folded.append((
+                    False, per_dispatch + stream_seconds,
+                    max(segment.compute_seconds, stream_seconds)
+                    + per_dispatch))
+            seg_plan = tuple(folded)
+        return (signature, members, channels[array_type], bandwidth,
+                dataflow.kind.value, uniform_timing, seg_plan)
+
+    def _pick(self, dataflow: Dataflow, ready: float, plan: Tuple,
+              cache: Dict[Tuple[int, int], DataflowTiming]
+              ) -> Tuple[Timeline, int, DataflowTiming]:
+        """Resolve (timeline, size, timing) for one dispatch of ``plan``."""
+        signature = plan[0]
+        members = plan[1]
+        uniform_timing = plan[5]
+        if uniform_timing is None:
+            timeline, size = self._select_array(dataflow, ready, signature,
+                                                members, cache)
+            return timeline, size, self._timing(dataflow, size, signature,
+                                                cache)
+        # Earliest-finish over same-size candidates: every projection
+        # shares one duration, so minimizing the finish time means
+        # minimizing the fit — and the first member that can start
+        # right at `ready` is exactly the first minimum (any earlier
+        # member fit strictly later), ending the scan immediately.
+        # The gapless/append fit checks mirror Timeline.next_fit.
+        timing = uniform_timing
+        duration = timing.accel_compute_seconds
+        best = None
+        best_finish = 0.0
+        for member in members:
+            timeline = member[0]
+            last = timeline._last_end
+            if ready >= last:
+                best = member
+                break
+            if timeline._gapless and duration > 0:
+                if timeline._starts[0] - ready >= duration:
+                    fit = ready
+                else:
+                    fit = last
+            else:
+                fit = timeline.next_fit(ready, duration)
+            if fit == ready:
+                best = member
+                break
+            finish = fit + duration
+            if best is None or finish < best_finish:
+                best = member
+                best_finish = finish
+        timeline, size = best
+        return timeline, size, timing
+
+    def _schedule_dataflow_fast(self, dataflow: Dataflow, ready: float,
+                                plan: Tuple, host_pool: Pool,
+                                cache: Dict[Tuple[int, int], DataflowTiming],
+                                per_dispatch: float
+                                ) -> Tuple[float, float, str, DataflowTiming]:
+        """Untraced :meth:`_schedule_dataflow`: identical placement
+        arithmetic with no span bookkeeping and no per-segment tuples."""
+        timeline, _size, timing = self._pick(dataflow, ready, plan, cache)
+        channel = plan[2]
+        clock = ready
+        first_start: Optional[float] = None
+        seg_plan = plan[6]
+        if seg_plan is not None:
+            # Stream/hold/duration were folded into the plan (identical
+            # expressions); only the joint reservation remains per segment.
+            for is_host, hold, duration in seg_plan:
+                if is_host:
+                    _seg_start, clock, _server = host_pool.reserve_named(
+                        clock, hold)
+                    continue
+                start = reserve_pair2(clock, channel, hold,
+                                      timeline, duration)
+                clock = start + duration
+                if first_start is None:
+                    first_start = start
+            return (first_start if first_start is not None else ready,
+                    clock, timeline.name, timing)
+        bandwidth = plan[3]
+        for segment in timing.segments:
+            if segment.resource == "host":
+                _seg_start, clock, _server = host_pool.reserve_named(
+                    clock, segment.compute_seconds)
+                continue
+            stream_seconds = (segment.stream_bytes / bandwidth
+                              if bandwidth > 0 else 0.0)
+            channel_hold = per_dispatch + stream_seconds
+            duration = (max(segment.compute_seconds, stream_seconds)
+                        + per_dispatch)
+            start = reserve_pair2(clock, channel, channel_hold,
+                                  timeline, duration)
+            clock = start + duration
+            if first_start is None:
+                first_start = start
+        return (first_start if first_start is not None else ready,
+                clock, timeline.name, timing)
+
     def _schedule_dataflow(self, dataflow: Dataflow, ready: float, sub: int,
-                           node_index: int,
-                           arrays: Dict[ArrayType, List[Tuple[Timeline, int]]],
-                           channels: Dict[ArrayType, Timeline],
+                           node_index: int, plan: Tuple,
                            host_pool: Pool,
-                           cache: Dict[Tuple[int, int, int], DataflowTiming],
+                           cache: Dict[Tuple[int, int], DataflowTiming],
                            per_dispatch: float,
                            tracer: Optional[Tracer] = None,
                            trace_pid: str = "instance0",
                            trace_offset: float = 0.0
-                           ) -> Tuple[float, float, str]:
+                           ) -> Tuple[float, float, str, DataflowTiming]:
         """Place one dataflow's segments.
 
         When tracing, every reservation this placement makes becomes one
@@ -373,25 +552,11 @@ class Orchestrator:
         on the chosen host slot's track (``host``).
 
         Returns:
-            (start, end, resource label) of the placed dataflow.
+            (start, end, resource label, timing) of the placed dataflow.
         """
-        if self.hardware.pooled:
-            # Homogeneous baseline: every array carries both LUT kinds and
-            # can execute any dataflow (Table 2's 64×64 GELU+Exp row).
-            members = [m for group in arrays.values() for m in group]
-        else:
-            members = arrays[dataflow.array_type]
-        if not members:
-            raise ValueError(
-                f"no {dataflow.array_type.value}-Type arrays provisioned")
-        channel = channels[dataflow.array_type]
-        bandwidth = self.hardware.type_bandwidth(dataflow.array_type)
-
-        timeline, size = self._select_array(dataflow, ready, sub,
-                                            node_index, members, cache)
-        timing = self._timing(dataflow, size, sub, node_index, cache)
-        self._last_size = size
-
+        channel = plan[2]
+        bandwidth = plan[3]
+        timeline, size, timing = self._pick(dataflow, ready, plan, cache)
         clock = ready
         first_start: Optional[float] = None
         for segment_index, segment in enumerate(timing.segments):
@@ -415,10 +580,9 @@ class Orchestrator:
             channel_hold = per_dispatch + stream_seconds
             duration = (max(segment.compute_seconds, stream_seconds)
                         + per_dispatch)
-            start = common_start(clock, [(channel, channel_hold),
+            start = reserve_pair(clock, [(channel, channel_hold),
                                          (timeline, duration)])
-            channel.reserve_at(start, channel_hold)
-            _, clock = timeline.reserve_at(start, duration)
+            clock = start + duration
             if tracer is not None:
                 tracer.add_span(
                     f"{dataflow.name}:xfer{segment_index}",
@@ -436,12 +600,12 @@ class Orchestrator:
             if first_start is None:
                 first_start = start
         return (first_start if first_start is not None else ready, clock,
-                timeline.name)
+                timeline.name, timing)
 
-    def _select_array(self, dataflow: Dataflow, ready: float, sub: int,
-                      node_index: int,
+    def _select_array(self, dataflow: Dataflow, ready: float,
+                      signature: int,
                       members: List[Tuple[Timeline, int]],
-                      cache: Dict[Tuple[int, int, int], DataflowTiming]
+                      cache: Dict[Tuple[int, int], DataflowTiming]
                       ) -> Tuple[Timeline, int]:
         """Pick an array for ``dataflow`` according to the policy."""
         if self.policy == "round_robin":
@@ -453,22 +617,33 @@ class Orchestrator:
             return min(members,
                        key=lambda member: member[0].next_fit(ready, 0.0))
 
-        # earliest_finish: project each candidate's completion time.
-        def projected(member: Tuple[Timeline, int]) -> float:
+        # earliest_finish: project each candidate's completion time from
+        # its precomputed compute duration (one timing per distinct array
+        # size — members of the same size share it).  Strict `<` keeps the
+        # first of tied projections, matching `min` over the member order.
+        durations: Dict[int, float] = {}
+        best_member: Optional[Tuple[Timeline, int]] = None
+        best_finish = 0.0
+        for member in members:
             timeline, size = member
-            timing = self._timing(dataflow, size, sub, node_index, cache)
-            start = timeline.next_fit(ready, timing.accel_compute_seconds)
-            return start + timing.accel_compute_seconds
+            duration = durations.get(size)
+            if duration is None:
+                duration = self._timing(dataflow, size, signature,
+                                        cache).accel_compute_seconds
+                durations[size] = duration
+            finish = timeline.next_fit(ready, duration) + duration
+            if best_member is None or finish < best_finish:
+                best_member, best_finish = member, finish
+        return best_member
 
-        return min(members, key=projected)
-
-    def _timing(self, dataflow: Dataflow, size: int, sub: int,
-                node_index: int,
-                cache: Dict[Tuple[int, int, int], DataflowTiming]
+    def _timing(self, dataflow: Dataflow, size: int, signature: int,
+                cache: Dict[Tuple[int, int], DataflowTiming]
                 ) -> DataflowTiming:
-        key = (sub, node_index, size)
-        if key not in cache:
-            cache[key] = time_dataflow(
+        key = (signature, size)
+        timing = cache.get(key)
+        if timing is None:
+            timing = time_dataflow(
                 dataflow, size, self.hardware,
                 host_elementwise_throughput=self.host.elementwise_throughput)
-        return cache[key]
+            cache[key] = timing
+        return timing

@@ -77,12 +77,19 @@ class Op:
     metadata: Tuple[Tuple[str, float], ...] = field(default=())
 
     def __post_init__(self) -> None:
-        if any(dim <= 0 for dim in self.shape):
-            raise ValueError(f"op {self.name}: non-positive dim in {self.shape}")
-        if self.kind is OpKind.MATMUL and len(self.shape) != 3:
-            raise ValueError("MATMUL shape must be (m, k, n)")
-        if self.kind is OpKind.BMM and len(self.shape) != 4:
-            raise ValueError("BMM shape must be (batch, m, k, n)")
+        # Plain loop: this runs for every traced op on the cold path, and
+        # a generator + any() costs ~2x the loop for the tiny shapes here.
+        for dim in self.shape:
+            if dim <= 0:
+                raise ValueError(
+                    f"op {self.name}: non-positive dim in {self.shape}")
+        kind = self.kind
+        if kind is OpKind.MATMUL:
+            if len(self.shape) != 3:
+                raise ValueError("MATMUL shape must be (m, k, n)")
+        elif kind is OpKind.BMM:
+            if len(self.shape) != 4:
+                raise ValueError("BMM shape must be (batch, m, k, n)")
 
     @property
     def elements(self) -> int:

@@ -1,11 +1,42 @@
 """Tests for the gap-aware resource timelines and pools."""
 
+import bisect
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sched import Pool, Timeline
-from repro.sched.events import common_start
+from repro.sched.events import common_start, reserve_pair
+
+
+def legacy_next_fit(timeline: Timeline, earliest: float,
+                    duration: float) -> float:
+    """The pre-optimization ``next_fit``: unconditional bisect + gap scan.
+
+    Kept verbatim as the parity reference for the gapless fast path."""
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    index = bisect.bisect_right(timeline._ends, earliest)
+    candidate = earliest
+    starts, ends = timeline._starts, timeline._ends
+    while index < len(starts):
+        if starts[index] - candidate >= duration:
+            return candidate
+        candidate = max(candidate, ends[index])
+        index += 1
+    return candidate
+
+
+def clone_timeline(timeline: Timeline) -> Timeline:
+    clone = Timeline(timeline.name)
+    clone._starts = list(timeline._starts)
+    clone._ends = list(timeline._ends)
+    clone.busy_seconds = timeline.busy_seconds
+    clone.reservations = timeline.reservations
+    clone._gapless = timeline._gapless
+    clone._last_end = timeline._last_end
+    return clone
 
 
 class TestTimeline:
@@ -87,6 +118,99 @@ class TestTimeline:
             assert start >= earliest - 1e-12
 
 
+class TestNextFitParity:
+    """The O(1) fast paths must place requests exactly where the legacy
+    scan would — bit-identical floats, not approximately equal."""
+
+    request_lists = st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=10)), min_size=1, max_size=60)
+
+    @given(request_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_next_fit_matches_legacy_scan(self, requests):
+        timeline = Timeline("t")
+        for earliest, duration in requests:
+            assert timeline.next_fit(earliest, duration) == \
+                legacy_next_fit(timeline, earliest, duration)
+            timeline.reserve(earliest, duration)
+
+    @given(request_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_gapless_flag_never_lies(self, requests):
+        """When the flag says gapless, the busy set really is one block."""
+        timeline = Timeline("t")
+        for earliest, duration in requests:
+            timeline.reserve(earliest, duration)
+            if timeline._gapless:
+                for end, nxt in zip(timeline._ends, timeline._starts[1:]):
+                    assert end >= nxt
+            # either way the interval lists stay sorted and disjoint
+            for end, nxt in zip(timeline._ends, timeline._starts[1:]):
+                assert end <= nxt + 1e-9
+
+    @given(request_lists,
+           st.floats(min_value=0, max_value=120),
+           st.floats(min_value=0, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_forced_slow_path_agrees_with_fast_path(self, requests,
+                                                    earliest, duration):
+        """Clearing the flag on a genuinely gapless timeline must not
+        change any answer: the flag is an optimization, not a semantic."""
+        timeline = Timeline("t")
+        for req_earliest, req_duration in requests:
+            timeline.reserve(req_earliest, req_duration)
+        forced = clone_timeline(timeline)
+        forced._gapless = False
+        assert timeline.next_fit(earliest, duration) == \
+            forced.next_fit(earliest, duration)
+
+    def test_sequential_appends_stay_gapless(self):
+        timeline = Timeline("t")
+        for i in range(10):
+            timeline.reserve(0.0, 1.0)
+        assert timeline._gapless
+
+    def test_future_reservation_clears_flag(self):
+        timeline = Timeline("t")
+        timeline.reserve(0.0, 1.0)
+        timeline.reserve(5.0, 1.0)
+        assert not timeline._gapless
+        # and the gap is then found by the general scan
+        assert timeline.next_fit(0.0, 2.0) == 1.0
+
+
+class TestReservePairParity:
+    joint_requests = st.lists(st.tuples(
+        st.floats(min_value=0, max_value=50),
+        st.floats(min_value=0, max_value=5),
+        st.floats(min_value=0, max_value=5)), min_size=1, max_size=30)
+
+    @given(joint_requests)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_common_start_plus_reserve_at(self, requests):
+        """reserve_pair on (channel, array) pairs must produce the same
+        starts and the same timeline state as the legacy three-fit
+        sequence, reservation by reservation."""
+        channel, array = Timeline("chan"), Timeline("arr")
+        legacy_channel, legacy_array = Timeline("chan"), Timeline("arr")
+        for earliest, hold, duration in requests:
+            start = reserve_pair(earliest, [(channel, hold),
+                                            (array, duration)])
+            expected = common_start(earliest, [(legacy_channel, hold),
+                                               (legacy_array, duration)])
+            legacy_channel.reserve_at(expected, hold)
+            legacy_array.reserve_at(expected, duration)
+            assert start == expected
+            assert channel._starts == legacy_channel._starts
+            assert channel._ends == legacy_channel._ends
+            assert array._starts == legacy_array._starts
+            assert array._ends == legacy_array._ends
+        assert channel.busy_seconds == legacy_channel.busy_seconds
+        assert array.busy_seconds == legacy_array.busy_seconds
+        assert array.reservations == legacy_array.reservations
+
+
 class TestCommonStart:
     def test_both_free(self):
         a, b = Timeline("a"), Timeline("b")
@@ -122,3 +246,20 @@ class TestPool:
     def test_zero_servers_rejected(self):
         with pytest.raises(ValueError):
             Pool.with_servers("host", 0)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=50),
+        st.floats(min_value=0, max_value=5)), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_reserve_named_matches_min_then_reserve(self, requests):
+        """Reserving at the fit found during the min-scan must pick the
+        same server and place identically to the legacy min + re-fit."""
+        pool = Pool.with_servers("host", 3)
+        legacy_pool = Pool.with_servers("host", 3)
+        for earliest, duration in requests:
+            start, end, name = pool.reserve_named(earliest, duration)
+            best = min(legacy_pool.servers,
+                       key=lambda s: s.next_fit(earliest, duration))
+            legacy_start, legacy_end = best.reserve(earliest, duration)
+            assert (start, end, name) == (legacy_start, legacy_end,
+                                          best.name)

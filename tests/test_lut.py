@@ -107,6 +107,48 @@ class TestExpPolicy:
         assert np.abs(probabilities - reference).max() < 0.02
 
 
+class TestDenseGroupedParity:
+    """The dense-gather lookup must be bit-identical to the legacy
+    grouped two-level walk over the *entire* bfloat16 domain."""
+
+    @staticmethod
+    def _all_bf16_patterns():
+        """Every 16-bit bfloat16 pattern as float32: finite values of both
+        signs (in-window, below, above), ±inf, and every NaN payload."""
+        index = np.arange(1 << 16, dtype=np.uint32)
+        return (index << np.uint32(16)).view(np.float32)
+
+    @pytest.mark.parametrize("lut_name", ["gelu", "exp"])
+    def test_exhaustive_bit_parity(self, lut_name, gelu_lut, exp_lut):
+        lut = gelu_lut if lut_name == "gelu" else exp_lut
+        values = self._all_bf16_patterns()
+        dense = lut.lookup(values)
+        grouped = lut.lookup_grouped(values)
+        # Bitwise comparison: NaNs must map to the same pattern too.
+        assert np.array_equal(dense.view(np.uint32),
+                              grouped.view(np.uint32))
+
+    @pytest.mark.parametrize("lut_name", ["gelu", "exp"])
+    def test_assume_bf16_bit_parity(self, lut_name, gelu_lut, exp_lut):
+        """Skipping the input rounding on exact bf16 patterns changes
+        nothing (to_bfloat16 idempotence); NaN payloads are exempt since
+        producers only ever emit the canonical NaN."""
+        lut = gelu_lut if lut_name == "gelu" else exp_lut
+        values = self._all_bf16_patterns()
+        values = values[~np.isnan(values)]
+        values = np.concatenate(
+            [values, np.array([np.nan], dtype=np.float32)])
+        fast = lut.lookup(values, assume_bf16=True)
+        slow = lut.lookup(values)
+        assert np.array_equal(fast.view(np.uint32), slow.view(np.uint32))
+
+    def test_non_bf16_inputs_round_first(self, gelu_lut):
+        rng = np.random.default_rng(7)
+        fine = rng.normal(scale=30, size=4096).astype(np.float32)
+        assert np.array_equal(gelu_lut.lookup(fine).view(np.uint32),
+                              gelu_lut.lookup_grouped(fine).view(np.uint32))
+
+
 class TestLookupMechanics:
     def test_vector_lookup_matches_scalar(self, gelu_lut):
         values = np.array([-3.0, -0.5, 0.7, 2.1, 9.9], dtype=np.float32)
