@@ -14,6 +14,13 @@ Driven by ``python -m repro.cli bench``; profiler-to-span hotspot
 attribution lives in :mod:`repro.telemetry.profiling`.
 """
 
+from .attribution import (
+    ScenarioAttribution,
+    attribute_comparison,
+    attribution_trace_report,
+    format_attribution,
+    select_scenarios,
+)
 from .compare import (
     DEFAULT_BAND_PCT,
     DEFAULT_MIN_DELTA_SECONDS,
@@ -32,6 +39,7 @@ from .recorder import (
     SCHEMA_VERSION,
     append_artifact_timing,
     build_record,
+    build_rollups,
     git_sha,
     list_bench_paths,
     load_record,
@@ -52,6 +60,8 @@ from .scenarios import (
     register,
     scenario_names,
     scenarios,
+    trace_scenario,
+    traced_scenario_names,
 )
 
 __all__ = [
@@ -63,6 +73,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SEED",
     "Scenario",
+    "ScenarioAttribution",
     "ScenarioDelta",
     "STATUS_IMPROVEMENT",
     "STATUS_NEW",
@@ -70,8 +81,12 @@ __all__ = [
     "STATUS_REGRESSION",
     "TrajectoryComparison",
     "append_artifact_timing",
+    "attribute_comparison",
+    "attribution_trace_report",
     "build_record",
+    "build_rollups",
     "compare_records",
+    "format_attribution",
     "format_comparison",
     "get_scenario",
     "git_sha",
@@ -84,8 +99,11 @@ __all__ = [
     "run_scenarios",
     "scenario_names",
     "scenarios",
+    "select_scenarios",
     "seq_of",
     "time_scenario",
+    "trace_scenario",
+    "traced_scenario_names",
     "validate_record",
     "write_record",
 ]

@@ -1,0 +1,189 @@
+"""Regression attribution: from "scenario X got slower" to "span Y did".
+
+The comparator (:mod:`repro.bench.compare`) says *which* scenario moved
+against the trajectory; this module says *where inside it*.  For every
+scenario picked for attribution it re-runs the scenario's traced
+variant (:func:`repro.bench.scenarios.trace_scenario`), aggregates the
+trace into a rollup, and diffs it against the baseline:
+
+* when a baseline record embeds a rollup for the scenario (records
+  written with ``build_rollups``), the diff attributes the delta span
+  group by span group — without replaying the baseline commit's code;
+* when no baseline rollup exists (records that predate the section),
+  the report falls back to the *current composition*: the top span
+  groups and critical-path hops of the fresh trace, flagged as such —
+  still enough to see what dominates the regressed scenario.
+
+Scenario selection mirrors what a human would do at a red comparison:
+attribute every regressed scenario that can be traced; if none of the
+regressed scenarios are traceable (or nothing regressed at all),
+attribute the traceable scenario with the largest absolute delta so the
+table is never empty on an explicit ``--attribute`` request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..telemetry.analyze import (
+    TraceDiff,
+    build_rollup,
+    diff_rollups,
+    extract_critical_path,
+    format_critical_path,
+    format_diff,
+)
+from .compare import STATUS_REGRESSION, TrajectoryComparison
+from .scenarios import trace_scenario, traced_scenario_names
+
+#: Span groups shown per attributed scenario.
+DEFAULT_TOP = 10
+
+
+@dataclass(frozen=True)
+class ScenarioAttribution:
+    """Attribution outcome for one scenario.
+
+    ``diff`` is present when a baseline rollup was available; otherwise
+    ``rollup`` (the fresh trace's composition) carries the fallback
+    report and ``note`` says why.
+    """
+
+    name: str
+    status: str
+    delta_pct: float
+    rollup: Dict[str, Any]
+    diff: Optional[TraceDiff] = None
+    note: str = ""
+
+    def as_dict(self, top: int = DEFAULT_TOP) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name, "status": self.status,
+            "delta_pct": self.delta_pct, "note": self.note}
+        if self.diff is not None:
+            data["diff"] = self.diff.as_dict(top=top)
+        else:
+            data["rollup"] = self.rollup
+        return data
+
+
+def _baseline_rollup(baselines: Sequence[Dict[str, Any]],
+                     name: str) -> Optional[Dict[str, Any]]:
+    """The newest embedded rollup for ``name`` across the baselines."""
+    for record in reversed(list(baselines)):
+        rollup = (record.get("rollups") or {}).get(name)
+        if isinstance(rollup, dict):
+            return rollup
+    return None
+
+
+def select_scenarios(comparison: TrajectoryComparison) -> List[str]:
+    """Which scenarios an ``--attribute`` run should trace.
+
+    Every traceable regression; with none, the single traceable
+    scenario that moved the most (largest ``|delta_pct|``) so an
+    explicit attribution request always yields a table.
+    """
+    traceable = set(traced_scenario_names())
+    regressed = [delta.name for delta in comparison.deltas
+                 if delta.status == STATUS_REGRESSION
+                 and delta.name in traceable]
+    if regressed:
+        return regressed
+    movers = sorted((delta for delta in comparison.deltas
+                     if delta.name in traceable),
+                    key=lambda delta: (-abs(delta.delta_pct), delta.name))
+    return [movers[0].name] if movers else []
+
+
+def attribute_comparison(comparison: TrajectoryComparison,
+                         baselines: Sequence[Dict[str, Any]],
+                         scenarios: Optional[Sequence[str]] = None
+                         ) -> List[ScenarioAttribution]:
+    """Trace, roll up, and diff the scenarios behind a comparison.
+
+    Args:
+        comparison: the comparator outcome being explained.
+        baselines: the same prior records the comparison ran against
+            (their embedded rollups are the diff baselines).
+        scenarios: explicit scenario names to attribute; default is
+            :func:`select_scenarios` over the comparison.
+    """
+    names = list(scenarios) if scenarios is not None else (
+        select_scenarios(comparison))
+    by_name = {delta.name: delta for delta in comparison.deltas}
+    attributions: List[ScenarioAttribution] = []
+    for name in names:
+        delta = by_name.get(name)
+        tracer, _fingerprint = trace_scenario(name)
+        rollup = build_rollup(tracer)
+        baseline = _baseline_rollup(baselines, name)
+        if baseline is not None:
+            attributions.append(ScenarioAttribution(
+                name=name,
+                status=delta.status if delta else "unknown",
+                delta_pct=delta.delta_pct if delta else 0.0,
+                rollup=rollup,
+                diff=diff_rollups(baseline, rollup)))
+        else:
+            attributions.append(ScenarioAttribution(
+                name=name,
+                status=delta.status if delta else "unknown",
+                delta_pct=delta.delta_pct if delta else 0.0,
+                rollup=rollup,
+                note=("no baseline rollup recorded; showing current "
+                      "span composition")))
+    return attributions
+
+
+def _format_composition(rollup: Dict[str, Any], top: int) -> str:
+    """Fallback table: where the scenario's time goes right now."""
+    lines = [f"  current composition of '{rollup.get('root')}' "
+             f"({float(rollup.get('root_seconds', 0.0)) * 1e3:.3f} ms "
+             f"end-to-end):"]
+    spans = sorted(rollup.get("spans", []),
+                   key=lambda entry: -float(entry["total_seconds"]))[:top]
+    width = max([len(str(entry["name"])) for entry in spans] or [8])
+    for entry in spans:
+        lines.append(
+            f"    {float(entry['total_seconds']) * 1e3:9.3f} ms  "
+            f"{str(entry['name']):<{width}s}  "
+            f"[{entry.get('category', 'span')}] x{entry.get('count', 1)}")
+    critical = sorted(rollup.get("critical", []),
+                      key=lambda entry: -float(entry["self_seconds"]))[:3]
+    if critical:
+        heads = ", ".join(
+            f"{entry['name']} "
+            f"{float(entry['self_seconds']) * 1e3:.3f} ms"
+            for entry in critical)
+        lines.append(f"    critical path dominated by: {heads}")
+    return "\n".join(lines)
+
+
+def format_attribution(attributions: Sequence[ScenarioAttribution],
+                       top: int = DEFAULT_TOP) -> str:
+    """The attribution tables ``bench --compare --attribute`` prints."""
+    if not attributions:
+        return ("attribution: no traceable scenario in this comparison "
+                f"(traceable: {', '.join(traced_scenario_names())})")
+    lines: List[str] = []
+    for attribution in attributions:
+        lines.append(f"attribution for '{attribution.name}' "
+                     f"({attribution.status}, "
+                     f"{attribution.delta_pct:+.1f}% vs floor):")
+        if attribution.note:
+            lines.append(f"  note: {attribution.note}")
+        if attribution.diff is not None:
+            for line in format_diff(attribution.diff, top=top).splitlines():
+                lines.append(f"  {line}")
+        else:
+            lines.append(_format_composition(attribution.rollup, top))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def attribution_trace_report(name: str, top: int = DEFAULT_TOP) -> str:
+    """One scenario's fresh critical path, for ad-hoc inspection."""
+    tracer, _fingerprint = trace_scenario(name)
+    return format_critical_path(extract_critical_path(tracer), top=top)

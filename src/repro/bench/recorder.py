@@ -21,7 +21,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..parallel.executor import SweepExecutor
-from .scenarios import get_scenario
+from .scenarios import get_scenario, trace_scenario, traced_scenario_names
 
 #: Record format identifier and version; bump on incompatible changes.
 SCHEMA = "repro.bench"
@@ -95,6 +95,27 @@ def run_scenarios(names: Sequence[str], repeat: int = DEFAULT_REPEAT, *,
     return {timing["name"]: timing for timing in timings}
 
 
+def build_rollups(names: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+    """Span rollups for every traceable scenario among ``names``.
+
+    Re-runs each scenario once with tracing (untimed — rollups describe
+    structure, not speed) and aggregates the trace via
+    :func:`repro.telemetry.analyze.build_rollup`.  Scenarios without a
+    traced variant are skipped; records that embed the result let
+    future ``bench --compare --attribute`` runs diff a regression
+    against this commit's span composition without re-running its code.
+    """
+    from ..telemetry.analyze import build_rollup
+
+    traceable = set(traced_scenario_names())
+    rollups: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        if name in traceable:
+            tracer, _fingerprint = trace_scenario(name)
+            rollups[name] = build_rollup(tracer)
+    return rollups
+
+
 # -- environment fingerprint ---------------------------------------------
 
 def machine_fingerprint() -> Dict[str, Any]:
@@ -154,8 +175,15 @@ def next_bench_path(root: str = ".") -> str:
 def build_record(timings: Dict[str, Dict[str, Any]],
                  repeat: int = DEFAULT_REPEAT, *,
                  metrics=None, root: str = ".",
+                 rollups: Optional[Dict[str, Dict[str, Any]]] = None,
                  extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Assemble a schema-versioned record from scenario timings."""
+    """Assemble a schema-versioned record from scenario timings.
+
+    ``rollups`` (optional, see :func:`build_rollups`) embeds per-
+    scenario span rollups so later attribution runs can diff against
+    this record without replaying its commit.  Absent on older records;
+    every reader treats the section as optional.
+    """
     record: Dict[str, Any] = {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -167,6 +195,8 @@ def build_record(timings: Dict[str, Dict[str, Any]],
         "metrics": metrics.rows() if metrics is not None else [],
         "artifacts": {},
     }
+    if rollups:
+        record["rollups"] = dict(rollups)
     if extra:
         record.update(extra)
     return record
@@ -202,6 +232,19 @@ def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError("record must carry a 'machine' fingerprint")
     if not isinstance(record.get("artifacts", {}), dict):
         raise ValueError("'artifacts' must be an object")
+    rollups = record.get("rollups")
+    if rollups is not None:
+        from ..telemetry.analyze import validate_rollup
+
+        if not isinstance(rollups, dict):
+            raise ValueError("'rollups' must map scenario names to "
+                             "trace rollups")
+        for name, rollup in rollups.items():
+            try:
+                validate_rollup(rollup)
+            except ValueError as error:
+                raise ValueError(
+                    f"rollup for scenario '{name}': {error}") from error
     return record
 
 

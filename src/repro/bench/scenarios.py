@@ -44,6 +44,12 @@ class Scenario:
         fn: the timed body; returns a scalar result fingerprint.
         setup: optional untimed warm-up run once before the repeats.
         tags: free-form labels; ``fast`` marks the CI smoke subset.
+        traced: optional variant taking a ``Tracer``; runs the same
+            simulated work with sim-time spans recorded so the trace
+            analytics engine (:mod:`repro.telemetry.analyze`) can
+            attribute a regression to specific spans.  Only scenarios
+            whose timed body is a simulation have one — array-kernel
+            and datapath microbenchmarks have no sim-time structure.
     """
 
     name: str
@@ -51,6 +57,7 @@ class Scenario:
     fn: Callable[[], float]
     setup: Optional[Callable[[], None]] = None
     tags: Tuple[str, ...] = ()
+    traced: Optional[Callable[..., float]] = None
 
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -62,16 +69,46 @@ _STATE: Dict[str, object] = {}
 
 def register(name: str, description: str, *,
              setup: Optional[Callable[[], None]] = None,
-             tags: Sequence[str] = ()) -> Callable[[Callable[[], float]],
-                                                   Callable[[], float]]:
+             tags: Sequence[str] = (),
+             traced: Optional[Callable[..., float]] = None
+             ) -> Callable[[Callable[[], float]], Callable[[], float]]:
     """Class-less decorator registering a module-level scenario callable."""
     def decorate(fn: Callable[[], float]) -> Callable[[], float]:
         if name in _REGISTRY:
             raise ValueError(f"scenario '{name}' already registered")
         _REGISTRY[name] = Scenario(name=name, description=description,
-                                   fn=fn, setup=setup, tags=tuple(tags))
+                                   fn=fn, setup=setup, tags=tuple(tags),
+                                   traced=traced)
         return fn
     return decorate
+
+
+def traced_scenario_names() -> List[str]:
+    """Scenarios with a traced variant, in registration order."""
+    return [name for name, scenario in _REGISTRY.items()
+            if scenario.traced is not None]
+
+
+def trace_scenario(name: str):
+    """Run a scenario's traced variant; returns ``(tracer, fingerprint)``.
+
+    Runs the scenario's ``setup`` first (untimed state, as in a normal
+    recording run) and then its traced body against a fresh tracer.
+    Raises ``KeyError`` for unknown scenarios and ``ValueError`` for
+    scenarios with no traced variant.
+    """
+    from ..telemetry import Tracer
+
+    scenario = get_scenario(name)
+    if scenario.traced is None:
+        have = ", ".join(traced_scenario_names())
+        raise ValueError(f"scenario '{name}' has no traced variant; "
+                         f"traceable: {have}")
+    if scenario.setup is not None:
+        scenario.setup()
+    tracer = Tracer()
+    fingerprint = float(scenario.traced(tracer))
+    return tracer, fingerprint
 
 
 def scenarios() -> Dict[str, Scenario]:
@@ -149,10 +186,19 @@ def _setup_schedule() -> None:
     scenario_schedule()  # warms the trace cache; scheduling itself is cold
 
 
+def _traced_schedule(tracer) -> float:
+    from ..sched.orchestrator import Orchestrator
+
+    result = Orchestrator(_hardware()).run(_base_config(), batch=BATCH,
+                                           seq_len=SEQ_LEN, tracer=tracer)
+    return float(result.makespan_seconds)
+
+
 @register("schedule",
           "cold cycle-level schedule of one batched inference "
           "(warm trace cache)",
-          setup=_setup_schedule, tags=(FAST_TAG, "cold"))
+          setup=_setup_schedule, tags=(FAST_TAG, "cold"),
+          traced=_traced_schedule)
 def scenario_schedule() -> float:
     from ..sched.orchestrator import Orchestrator
 
@@ -218,9 +264,22 @@ def _setup_dse_point() -> None:
     _STATE["dse_point"] = explorer
 
 
+def _traced_dse_point(tracer) -> float:
+    # The explorer's cached path has no tracer plumbing; the sim-time
+    # content of a DSE point is its cold schedule, so trace that.
+    from ..parallel.cache import clear_caches
+    from ..sched.orchestrator import Orchestrator
+
+    clear_caches()
+    result = Orchestrator(_hardware()).run(_base_config(), batch=BATCH,
+                                           seq_len=SEQ_LEN, tracer=tracer)
+    return float(result.makespan_seconds)
+
+
 @register("dse_point",
           "cold DSE point: trace + schedule + power/area for BestPerf",
-          setup=_setup_dse_point, tags=("cold",))
+          setup=_setup_dse_point, tags=("cold",),
+          traced=_traced_dse_point)
 def scenario_dse_point() -> float:
     from ..parallel.cache import clear_caches
 
@@ -242,10 +301,24 @@ def _setup_campaign_simulate() -> None:
         uniprot_like_workload(count=16, seed=SEED))
 
 
+def _traced_campaign_simulate(tracer) -> float:
+    from ..parallel.cache import clear_caches
+
+    state = _STATE.get("campaign_simulate")
+    if state is None:
+        _setup_campaign_simulate()
+        state = _STATE["campaign_simulate"]
+    simulator, workload = state
+    clear_caches()
+    report = simulator.run_on_prose(workload, tracer=tracer)
+    return float(report.total_seconds)
+
+
 @register("campaign_simulate",
           "cold serving campaign: bucket + schedule 16 UniProt-like "
           "sequences",
-          setup=_setup_campaign_simulate, tags=("cold",))
+          setup=_setup_campaign_simulate, tags=("cold",),
+          traced=_traced_campaign_simulate)
 def scenario_campaign_simulate() -> float:
     from ..parallel.cache import clear_caches
 
@@ -275,10 +348,21 @@ def _setup_fleet_simulate() -> None:
         simulator, build_scenario("rack_power_loss", topology))
 
 
+def _traced_fleet_simulate(tracer) -> float:
+    state = _STATE.get("fleet_simulate")
+    if state is None:
+        _setup_fleet_simulate()
+        state = _STATE["fleet_simulate"]
+    simulator, scenario = state
+    report = simulator.run(batch=64, scenario=scenario, tracer=tracer)
+    return float(report.makespan_seconds)
+
+
 @register("fleet_simulate",
           "fleet chaos recovery: rack power loss over 2x2x2, detect + "
           "re-shard + drain",
-          setup=_setup_fleet_simulate, tags=(FAST_TAG,))
+          setup=_setup_fleet_simulate, tags=(FAST_TAG,),
+          traced=_traced_fleet_simulate)
 def scenario_fleet_simulate() -> float:
     state = _STATE.get("fleet_simulate")
     if state is None:
@@ -349,6 +433,37 @@ def scenario_timeline_reserve() -> float:
         start, _end = timeline.reserve(earliest, duration)
         total += start
     return total + timeline.busy_seconds
+
+
+def _setup_trace_analyze() -> None:
+    from ..telemetry import Tracer
+
+    tracer = Tracer()
+    _traced_schedule(tracer)
+    _STATE["trace_analyze"] = tracer
+
+
+@register("trace_analyze",
+          "trace analytics over a warm schedule trace: critical path + "
+          "utilization + self-diff",
+          setup=_setup_trace_analyze, tags=(FAST_TAG,))
+def scenario_trace_analyze() -> float:
+    from ..telemetry import analyze_trace, build_rollup, diff_rollups
+
+    tracer = _STATE.get("trace_analyze")
+    if tracer is None:
+        _setup_trace_analyze()
+        tracer = _STATE["trace_analyze"]
+    analysis = analyze_trace(tracer)
+    rollup = build_rollup(tracer)
+    diff = diff_rollups(rollup, rollup)
+    # Folds in the path shape, idle gaps, resource concurrency, and the
+    # (expected-zero) self-diff so any analytics drift moves the number.
+    return (analysis.path.total_seconds
+            + len(analysis.path.hops)
+            + analysis.path.gap_seconds
+            + analysis.utilization.mean_concurrency
+            + abs(diff.delta_seconds))
 
 
 @register("monitor_overhead",

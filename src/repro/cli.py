@@ -12,6 +12,8 @@
     python -m repro.cli monitor --scenario rack_power_loss
     python -m repro.cli trace --seq-len 128 --batch 8 --out trace.json
     python -m repro.cli bench --repeat 5 --compare BENCH_0001.json --check
+    python -m repro.cli analyze --scenario dse_point --format ascii
+    python -m repro.cli analyze --trace now.json --against before.json
 """
 
 from __future__ import annotations
@@ -421,10 +423,76 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .telemetry import (
+        analyze_trace,
+        critical_path_spans,
+        format_analysis,
+        load_trace,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+
+    if bool(args.trace) == bool(args.scenario):
+        raise SystemExit("analyze needs exactly one input: --trace "
+                         "<exported.json> or --scenario <name>")
+    if args.scenario:
+        from .bench import trace_scenario
+
+        try:
+            tracer, _fingerprint = trace_scenario(args.scenario)
+        except (KeyError, ValueError) as error:
+            raise SystemExit(str(error)) from error
+        source_label = f"scenario '{args.scenario}'"
+    else:
+        tracer = load_trace(args.trace)
+        source_label = args.trace
+    against = load_trace(args.against) if args.against else None
+
+    try:
+        analysis = analyze_trace(tracer, against=against, root=args.root)
+    except ValueError as error:
+        raise SystemExit(f"cannot analyze {source_label}: {error}") \
+            from error
+
+    if args.format == "json":
+        text = analysis.to_json(top=args.top)
+    elif args.format == "ascii":
+        text = format_analysis(analysis, top=args.top)
+    else:  # perfetto: re-export with the critical path as its own track
+        out = args.out or "analysis.json"
+        data = to_chrome_trace(
+            tracer,
+            metadata={"tool": "repro.cli analyze", "version": __version__,
+                      "source": source_label,
+                      "critical_path_hops": len(analysis.path.hops)},
+            extra_spans=critical_path_spans(analysis.path))
+        counts = validate_chrome_trace(data)
+        import json as json_module
+
+        with open(out, "w", encoding="utf-8") as handle:
+            json_module.dump(data, handle, indent=1)
+        print(f"{counts['spans']} spans on {counts['tracks']} tracks "
+              f"(+1 critical-path track, {len(analysis.path.hops)} "
+              f"hop(s)) -> {out} (open at https://ui.perfetto.dev)")
+        print(format_analysis(analysis, top=args.top))
+        return 0
+
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"analysis -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        attribute_comparison,
         build_record,
+        build_rollups,
         compare_records,
+        format_attribution,
         format_comparison,
         load_records,
         next_bench_path,
@@ -450,6 +518,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from error
     if args.check and not args.compare:
         raise SystemExit("--check requires --compare BENCH_*.json "
+                         "baseline(s)")
+    if args.attribute and not args.compare:
+        raise SystemExit("--attribute requires --compare BENCH_*.json "
                          "baseline(s)")
 
     executor = SweepExecutor(SweepExecutor.resolve_workers(args.workers))
@@ -491,13 +562,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{counts['tracks']} tracks -> {args.profile_out} "
               f"(open at https://ui.perfetto.dev)")
 
+    rollups = build_rollups(names) if args.rollups else None
     record = build_record(
-        timings, repeat=args.repeat, metrics=metrics,
+        timings, repeat=args.repeat, metrics=metrics, rollups=rollups,
         extra={"executor": {"workers": executor.workers,
                             "mode": executor.last_mode}})
     out = args.out or next_bench_path(".")
     write_record(record, out)
-    print(f"record -> {out}")
+    suffix = (f" (+{len(rollups)} span rollup(s))" if rollups else "")
+    print(f"record -> {out}{suffix}")
 
     if args.compare:
         baselines = load_records(args.compare)
@@ -506,6 +579,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                      min_delta_seconds=args.min_delta)
         print()
         print(format_comparison(comparison))
+        if args.attribute:
+            attributions = attribute_comparison(comparison, baselines)
+            print()
+            print(format_attribution(attributions, top=args.top))
         if args.check and not comparison.ok:
             return 1
     return 0
@@ -855,7 +932,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default $REPRO_SWEEP_WORKERS or 1)")
     bench.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
+    bench.add_argument("--attribute", action="store_true",
+                       help="after --compare, re-run regressed "
+                            "scenarios with tracing and print a span "
+                            "attribution table")
+    bench.add_argument("--rollups", action="store_true",
+                       help="embed span rollups for traceable scenarios "
+                            "in the record (future --attribute runs "
+                            "diff against them)")
     bench.set_defaults(handler=cmd_bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="trace analytics: critical path, utilization attribution, "
+             "run-to-run regression diff")
+    analyze.add_argument("--trace", default=None, metavar="JSON",
+                         help="exported Chrome-trace JSON to analyze")
+    analyze.add_argument("--scenario", default=None,
+                         help="instead of --trace: run this bench "
+                              "scenario's traced variant and analyze it")
+    analyze.add_argument("--against", default=None, metavar="JSON",
+                         help="baseline trace; adds a span-attributed "
+                              "latency diff")
+    analyze.add_argument("--root", default=None,
+                         help="anchor span name (default: the run/fleet "
+                              "root span)")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="rows per table (default 10)")
+    analyze.add_argument("--format", default="ascii",
+                         choices=["ascii", "json", "perfetto"],
+                         help="ascii tables, canonical JSON, or a "
+                              "Perfetto re-export with the critical "
+                              "path highlighted on its own track")
+    analyze.add_argument("--out", default=None,
+                         help="also write the report here (for "
+                              "--format perfetto: the trace path, "
+                              "default analysis.json)")
+    analyze.set_defaults(handler=cmd_analyze)
     return parser
 
 

@@ -527,7 +527,8 @@ class FleetSimulator:
             tracer.add_span(
                 "recovery_shard" if category == "recovery" else "shard",
                 start, t, pid=pid, tid=tid, category=category,
-                rate=state.eff_rate)
+                rate=state.eff_rate,
+                backend=state.instance.backend.label)
 
     def _refresh_rate(self, state: _Sim, health: HealthMonitor) -> None:
         state.eff_rate = state.rate * health.capacity_factor(
@@ -794,7 +795,9 @@ class FleetSimulator:
                 "fleet_campaign", 0.0, report.makespan_seconds,
                 pid="fleet", tid="overview", category="fleet",
                 scenario=report.scenario, batch=report.batch,
-                goodput=report.goodput, reshards=report.reshards)
+                goodput=report.goodput, reshards=report.reshards,
+                nominal_seconds=report.nominal_makespan_seconds,
+                completed=report.completed, failures=report.failures)
             for instance_id in health.open_breakers():
                 pid, tid = self._span_target(instance_id)
                 tracer.instant("breaker_open", report.makespan_seconds,

@@ -351,13 +351,35 @@ class Orchestrator:
                                       if members and makespan > 0 else 0.0)
         channel_util = {t: channels[t].utilization(makespan)
                         for t in ArrayType}
+        result = ScheduleResult(
+            makespan_seconds=makespan,
+            batch=batch,
+            seq_len=seq_len,
+            threads=thread_count,
+            array_utilization=array_util,
+            channel_utilization=channel_util,
+            host_utilization=host_pool.utilization(makespan),
+            total_stream_bytes=total_bytes,
+            total_dispatches=total_dispatches,
+            contention_seconds=contention_seconds,
+            kind_compute_seconds=kind_compute,
+            task_log=tuple(task_log) if record_tasks else None)
         if tracer is not None:
+            # The run span carries the resource inventory (idle arrays
+            # emit no spans, so the trace alone cannot recover the
+            # utilization denominators) and the schedule's own verdict,
+            # so trace analytics can both recompute and cross-check the
+            # bottleneck attribution (repro.telemetry.analyze).
+            inventory = {f"arrays_{t.value.lower()}": len(arrays[t])
+                         for t in ArrayType}
             tracer.add_span(
                 "orchestrator.run", trace_offset, trace_offset + makespan,
                 pid=trace_pid, tid="schedule", category="run",
                 batch=batch, seq_len=seq_len, threads=thread_count,
                 policy=self.policy, dispatches=total_dispatches,
-                stream_bytes=total_bytes)
+                stream_bytes=total_bytes,
+                host_slots=self.host.slots,
+                bottleneck=result.bottleneck, **inventory)
         if metrics is not None:
             reservations = (
                 sum(t.reservations for ms in arrays.values() for t, _ in ms)
@@ -379,19 +401,7 @@ class Orchestrator:
                 metrics.gauge(
                     f"sched/link_utilization/{array_type.value}").set(
                         channel_util[array_type])
-        return ScheduleResult(
-            makespan_seconds=makespan,
-            batch=batch,
-            seq_len=seq_len,
-            threads=thread_count,
-            array_utilization=array_util,
-            channel_utilization=channel_util,
-            host_utilization=host_pool.utilization(makespan),
-            total_stream_bytes=total_bytes,
-            total_dispatches=total_dispatches,
-            contention_seconds=contention_seconds,
-            kind_compute_seconds=kind_compute,
-            task_log=tuple(task_log) if record_tasks else None)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -590,13 +600,15 @@ class Orchestrator:
                     trace_offset + start + channel_hold,
                     pid=trace_pid, tid=channel.name, category="stream",
                     bytes=segment.stream_bytes, sub_batch=sub,
-                    node=node_index)
+                    node=node_index,
+                    array_type=dataflow.array_type.value)
                 tracer.add_span(
                     f"{dataflow.name}:seg{segment_index}",
                     trace_offset + start, trace_offset + clock,
                     pid=trace_pid, tid=timeline.name, category="exec",
                     compute_seconds=segment.compute_seconds,
-                    array_size=size, sub_batch=sub, node=node_index)
+                    array_size=size, sub_batch=sub, node=node_index,
+                    array_type=dataflow.array_type.value)
             if first_start is None:
                 first_start = start
         return (first_start if first_start is not None else ready, clock,

@@ -233,7 +233,8 @@ class CampaignSimulator:
                 completed += batch
                 _attempt_span(batch_start, total_seconds, "attempt")
                 _attempt_span(batch_start, total_seconds, "batch",
-                              outcome="ok", attempts=1)
+                              outcome="ok", attempts=1,
+                              nominal_seconds=nominal)
                 if metrics is not None:
                     metrics.histogram(
                         "serving/batch_latency_seconds").observe(nominal)
@@ -318,7 +319,8 @@ class CampaignSimulator:
                 completed += batch
                 break
             _attempt_span(batch_start, total_seconds, "batch",
-                          outcome=outcome, attempts=attempt + 1)
+                          outcome=outcome, attempts=attempt + 1,
+                          nominal_seconds=nominal)
             if metrics is not None and outcome != "dropped":
                 metrics.histogram("serving/batch_latency_seconds").observe(
                     total_seconds - batch_start)
@@ -334,6 +336,16 @@ class CampaignSimulator:
             metrics.gauge("serving/padding_waste").set(
                 1.0 - (int(workload.lengths.sum()) / padded_tokens)
                 if padded_tokens else 0.0)
+        if tracer is not None:
+            # End-to-end root span: the anchor trace analytics chains
+            # critical paths from (batches run back-to-back on the
+            # campaign clock, so the batch spans tile it exactly).
+            tracer.add_span(
+                "campaign.run", 0.0, total_seconds, pid="serving",
+                tid="campaign", category="run",
+                platform=f"ProSE {self.hardware.name}",
+                batches=len(batches), sequences=completed,
+                retries=retries, dropped=dropped)
         slo = None
         if monitor is not None and monitor.horizon_seconds is not None:
             slo = monitor.finalize(total_seconds).outcome()

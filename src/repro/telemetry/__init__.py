@@ -14,6 +14,31 @@ Three pieces:
   the spans (see :mod:`repro.telemetry.profiling`).
 """
 
+from .analyze import (
+    AttributionRow,
+    CriticalHop,
+    CriticalPath,
+    PhaseVerdict,
+    TraceAnalysis,
+    TraceDiff,
+    TrackUsage,
+    UtilizationReport,
+    analyze_trace,
+    build_rollup,
+    critical_path_spans,
+    diff_rollups,
+    diff_traces,
+    extract_critical_path,
+    format_analysis,
+    format_critical_path,
+    format_diff,
+    format_utilization,
+    load_trace,
+    phase_verdicts,
+    tracer_from_chrome_trace,
+    utilization_report,
+    validate_rollup,
+)
 from .export import (
     to_chrome_trace,
     validate_chrome_trace,
@@ -39,28 +64,51 @@ from .spans import SIM_CLOCK, WALL_CLOCK, Instant, Span, Tracer
 from .timeseries import TimeSeries, TimeSeriesStore, WindowStats
 
 __all__ = [
+    "AttributionRow",
     "Counter",
+    "CriticalHop",
+    "CriticalPath",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "HotspotEntry",
     "Instant",
     "MetricsRegistry",
+    "PhaseVerdict",
     "ProfileReport",
     "SIM_CLOCK",
     "Span",
     "TimeSeries",
     "TimeSeriesStore",
+    "TraceAnalysis",
+    "TraceDiff",
+    "TrackUsage",
     "Tracer",
+    "UtilizationReport",
     "WALL_CLOCK",
     "WindowStats",
+    "analyze_trace",
+    "build_rollup",
+    "critical_path_spans",
     "default_glyph",
+    "diff_rollups",
+    "diff_traces",
+    "extract_critical_path",
+    "format_analysis",
+    "format_critical_path",
+    "format_diff",
     "format_hotspots",
+    "format_utilization",
+    "load_trace",
+    "phase_verdicts",
     "profile",
     "render_tracer",
     "render_tracks",
     "to_chrome_trace",
+    "tracer_from_chrome_trace",
+    "utilization_report",
     "validate_chrome_trace",
+    "validate_rollup",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_metrics_jsonl",

@@ -1,0 +1,922 @@
+"""Trace analytics: critical paths, utilization attribution, trace diffs.
+
+The recording layers (:class:`~repro.telemetry.spans.Tracer`, the bench
+observatory, the SLO monitor) can say *what* happened; this module says
+*why a number is what it is*.  Three analyses over a finished trace —
+a live :class:`Tracer` or an exported Chrome-trace JSON:
+
+* **critical path** — starting from the end of the root span, repeatedly
+  hop to the span whose completion unblocked the current instant (the
+  latest-finishing span at the cursor).  Every placement decision in the
+  simulated stack starts either when its dependency finished or when a
+  resource freed, and both leave a span ending at exactly that time, so
+  the backward chain tiles the root span gap-free: the ordered hops with
+  per-hop self-time *are* the end-to-end latency, attributed.
+* **utilization attribution** — per-track busy/idle/blocked fractions, a
+  concurrency histogram over the root window, and a per-phase "bound by"
+  verdict recomputed from the spans alone, cross-checked against the
+  ``bottleneck`` the scheduler recorded on its run span.
+* **trace diff** — two traces of the same scenario aligned by span
+  ``(name, category)`` structure; the end-to-end delta is attributed to
+  the top-k span groups that moved.  Rollups (the compact aggregation
+  the diff runs on) are JSON documents, so BENCH records can embed them
+  and future regressions diff against committed baselines without
+  re-running old code (:mod:`repro.bench.attribution`).
+
+Everything here is read-only over recorded spans: analyzing a run can
+never change its results.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .spans import SIM_CLOCK, Span, Tracer
+
+#: Slack (seconds) for "ends at the cursor" checks; sim spans share the
+#: exact floats of the schedule, so this only absorbs last-ulp noise.
+DEFAULT_EPSILON = 1e-9
+
+#: Rollup document identifier and version; bump on incompatible changes.
+ROLLUP_SCHEMA = "repro.trace-rollup"
+ROLLUP_SCHEMA_VERSION = 1
+
+#: Span categories that occupy a schedulable resource, and the resource
+#: class each belongs to.  ``task`` spans live on software-thread tracks
+#: (they mirror work already counted on a resource track), so they form
+#: their own class and are excluded from resource concurrency.
+CATEGORY_CLASSES = {
+    "exec": "array",
+    "stream": "link",
+    "host": "host",
+    "task": "thread",
+    "shard": "compute",
+    "recovery": "compute",
+    "fabric": "link",
+}
+
+#: Root-candidate categories, most preferred first.
+_ROOT_CATEGORIES = ("run", "fleet")
+
+#: Synthetic hop name for uncovered path segments.
+IDLE_HOP = "(idle)"
+
+
+# -- trace loading -------------------------------------------------------
+
+def tracer_from_chrome_trace(data: Dict[str, object]) -> Tracer:
+    """Rebuild a :class:`Tracer` from an exported Chrome-trace dict.
+
+    Inverse of :func:`repro.telemetry.export.to_chrome_trace` for the
+    span/instant content: ``M`` metadata events restore the pid/tid
+    labels, ``X`` events become spans (the ``clock`` attribute survives
+    the round trip through ``args``), ``i`` events become instants.
+    Counter tracks and the profile process carry no schedule structure
+    and are skipped.
+    """
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a traceEvents list")
+    pid_names: Dict[int, str] = {}
+    tid_names: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            pid_names[event["pid"]] = event["args"]["name"]
+        elif event.get("name") == "thread_name":
+            tid_names[(event["pid"], event["tid"])] = event["args"]["name"]
+    tracer = Tracer()
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        pid = pid_names.get(event["pid"], str(event["pid"]))
+        if pid in ("profile", "analysis"):
+            # Derived tracks (hotspot lanes, a previous run's critical-
+            # path highlight) would double-count if re-analyzed.
+            continue
+        tid = tid_names.get((event["pid"], event["tid"]),
+                            str(event["tid"]))
+        args = dict(event.get("args") or {})
+        start = float(event["ts"]) / 1e6
+        if phase == "i":
+            tracer.instant(event["name"], start, pid=pid, tid=tid,
+                           category=str(event.get("cat", "event")), **args)
+            continue
+        clock = str(args.pop("clock", SIM_CLOCK))
+        end = start + float(event.get("dur", 0.0)) / 1e6
+        tracer.add_span(event["name"], start, end, pid=pid, tid=tid,
+                        category=str(event.get("cat", "span")),
+                        clock=clock, **args)
+    return tracer
+
+
+def load_trace(source: Union[Tracer, Dict[str, object], str]) -> Tracer:
+    """Coerce a tracer, Chrome-trace dict, or JSON path to a Tracer."""
+    if isinstance(source, Tracer):
+        return source
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            source = json.load(handle)
+    if isinstance(source, dict):
+        return tracer_from_chrome_trace(source)
+    raise TypeError(f"cannot load a trace from {type(source).__name__}")
+
+
+def _sim_spans(tracer: Tracer) -> List[Span]:
+    return [span for span in tracer.finished_spans()
+            if span.clock == SIM_CLOCK]
+
+
+def find_root(tracer: Tracer, name: Optional[str] = None) -> Span:
+    """The end-to-end span the analyses anchor on.
+
+    With ``name``, the longest sim-time span of that name.  Otherwise
+    the longest span of a root category (``run``/``fleet``); if none
+    exists — e.g. a hand-built trace — a synthetic span covering the
+    hull of all sim-time spans.
+    """
+    spans = _sim_spans(tracer)
+    if not spans:
+        raise ValueError("trace has no finished sim-time spans")
+    if name is not None:
+        named = [span for span in spans if span.name == name]
+        if not named:
+            raise ValueError(f"no sim-time span named '{name}'")
+        return max(named, key=lambda span: span.duration)
+    for category in _ROOT_CATEGORIES:
+        of_category = [s for s in spans if s.category == category]
+        if of_category:
+            return max(of_category, key=lambda span: span.duration)
+    start = min(span.start for span in spans)
+    end = max(span.end for span in spans)
+    return Span(name="(trace)", start=start, end=end, pid="analysis",
+                tid="hull", category="run", clock=SIM_CLOCK)
+
+
+# -- critical path -------------------------------------------------------
+
+@dataclass(frozen=True)
+class CriticalHop:
+    """One chained segment of the critical path (chronological order).
+
+    ``self_seconds`` is the slice of end-to-end time this hop alone
+    accounts for — the sum over all hops equals the root duration.
+    """
+
+    name: str
+    pid: str
+    tid: str
+    category: str
+    start: float
+    end: float
+    self_seconds: float
+    kind: str = ""
+    resource: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "pid": self.pid, "tid": self.tid,
+                "category": self.category, "start": self.start,
+                "end": self.end, "self_seconds": self.self_seconds,
+                "kind": self.kind, "resource": self.resource}
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The blocking chain behind one end-to-end span."""
+
+    root_name: str
+    root_pid: str
+    root_seconds: float
+    hops: Tuple[CriticalHop, ...]
+    gap_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of per-hop self time (== root duration, gaps included)."""
+        return sum(hop.self_seconds for hop in self.hops)
+
+    @property
+    def gaps(self) -> int:
+        return sum(1 for hop in self.hops if hop.name == IDLE_HOP)
+
+    def by_category(self) -> Dict[str, float]:
+        """Path self-time per span category, largest first."""
+        totals: Dict[str, float] = {}
+        for hop in self.hops:
+            totals[hop.category] = (totals.get(hop.category, 0.0)
+                                    + hop.self_seconds)
+        return dict(sorted(totals.items(),
+                           key=lambda item: (-item[1], item[0])))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"root": self.root_name, "pid": self.root_pid,
+                "root_seconds": self.root_seconds,
+                "total_seconds": self.total_seconds,
+                "gap_seconds": self.gap_seconds,
+                "hops": [hop.as_dict() for hop in self.hops],
+                "by_category": self.by_category()}
+
+
+def extract_critical_path(tracer: Tracer, root: Optional[str] = None,
+                          epsilon: float = DEFAULT_EPSILON
+                          ) -> CriticalPath:
+    """Chain the blocking predecessors of the end-to-end span.
+
+    Walks backward from the root's end: at every cursor the blocking
+    span is the latest-finishing span at (or before) that instant; ties
+    prefer the latest-starting (most specific) span, so leaf segments
+    win over the umbrella spans that merely contain them.  A cursor no
+    span reaches produces a synthetic :data:`IDLE_HOP` — on nominal
+    simulator traces the chain is gap-free by construction.
+    """
+    root_span = find_root(tracer, root)
+    candidates = [
+        span for span in _sim_spans(tracer)
+        if span is not root_span and span.duration > 0.0
+        and span.end > root_span.start + epsilon
+        and span.start < root_span.end - epsilon
+        and span.category not in _ROOT_CATEGORIES
+        and span.category not in ("critical", "idle")]
+    # Sorted by end for the bisect walk; the tie-break key picks the
+    # most specific blocker among equal ends deterministically.
+    candidates.sort(key=lambda span: span.end)
+    ends = [span.end for span in candidates]
+    hops: List[CriticalHop] = []
+    gap_seconds = 0.0
+    cursor = root_span.end
+
+    def emit(span: Span, upper: float) -> float:
+        lower = max(span.start, root_span.start)
+        hops.append(CriticalHop(
+            name=span.name, pid=span.pid, tid=span.tid,
+            category=span.category, start=span.start, end=span.end,
+            self_seconds=upper - lower,
+            kind=str(span.args.get("kind", "")),
+            resource=str(span.args.get("resource", ""))))
+        return lower
+
+    while cursor > root_span.start + epsilon:
+        index = bisect_right(ends, cursor + epsilon) - 1
+        if index < 0:
+            # Nothing ends at or before the cursor: idle back to start.
+            gap = cursor - root_span.start
+            gap_seconds += gap
+            hops.append(CriticalHop(
+                name=IDLE_HOP, pid=root_span.pid, tid=root_span.tid,
+                category="idle", start=root_span.start, end=cursor,
+                self_seconds=gap))
+            break
+        best = candidates[index]
+        scan = index - 1
+        while scan >= 0 and ends[scan] >= best.end - epsilon:
+            other = candidates[scan]
+            if (other.start, other.pid, other.tid, other.name) > (
+                    best.start, best.pid, best.tid, best.name):
+                best = other
+            scan -= 1
+        if best.end < cursor - epsilon:
+            gap = cursor - best.end
+            gap_seconds += gap
+            hops.append(CriticalHop(
+                name=IDLE_HOP, pid=root_span.pid, tid=root_span.tid,
+                category="idle", start=best.end, end=cursor,
+                self_seconds=gap))
+            cursor = best.end
+            continue
+        cursor = emit(best, cursor)
+    hops.reverse()
+    return CriticalPath(root_name=root_span.name, root_pid=root_span.pid,
+                        root_seconds=root_span.duration,
+                        hops=tuple(hops), gap_seconds=gap_seconds)
+
+
+# -- utilization & phase verdicts ---------------------------------------
+
+@dataclass(frozen=True)
+class TrackUsage:
+    """Busy/idle/blocked accounting for one (pid, tid) track."""
+
+    pid: str
+    tid: str
+    resource_class: str
+    busy_seconds: float
+    blocked_seconds: float
+    horizon_seconds: float
+    spans: int
+
+    @property
+    def busy_fraction(self) -> float:
+        return (self.busy_seconds / self.horizon_seconds
+                if self.horizon_seconds > 0 else 0.0)
+
+    @property
+    def idle_seconds(self) -> float:
+        return max(self.horizon_seconds - self.busy_seconds
+                   - self.blocked_seconds, 0.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"pid": self.pid, "tid": self.tid,
+                "class": self.resource_class,
+                "busy_seconds": self.busy_seconds,
+                "blocked_seconds": self.blocked_seconds,
+                "idle_seconds": self.idle_seconds,
+                "busy_fraction": self.busy_fraction,
+                "spans": self.spans}
+
+
+@dataclass(frozen=True)
+class PhaseVerdict:
+    """One schedule phase's resource verdict, trace-recomputed.
+
+    ``bound_by`` is derived from span busy-time alone, with the same
+    tie-break the scheduler uses; ``recorded`` is the ``bottleneck`` the
+    run span carried (None on traces that predate that metadata), and
+    ``agrees`` whether the two name the same resource.
+    """
+
+    name: str
+    pid: str
+    start: float
+    end: float
+    bound_by: str
+    utilization: Dict[str, float]
+    recorded: Optional[str] = None
+
+    @property
+    def agrees(self) -> Optional[bool]:
+        if self.recorded is None:
+            return None
+        return self.bound_by == self.recorded
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "pid": self.pid, "start": self.start,
+                "end": self.end, "bound_by": self.bound_by,
+                "recorded": self.recorded, "agrees": self.agrees,
+                "utilization": dict(sorted(self.utilization.items()))}
+
+
+#: The scheduler's deterministic bottleneck tie-break, mirrored.
+_BOTTLENECK_RANK = {"array": 0, "link": 1, "host": 2}
+
+
+def _verdict_of(utilization: Dict[str, float]) -> str:
+    return min(utilization.items(),
+               key=lambda item: (-item[1],
+                                 _BOTTLENECK_RANK.get(
+                                     item[0].split(":")[0], 99),
+                                 item[0]))[0]
+
+
+def _array_type_of_tid(tid: str) -> Optional[str]:
+    """Parse the array type out of a resource-track label.
+
+    Array timelines are named ``"<count>x <size>x<size> <T>[<i>]"`` and
+    link channels ``"channel:<T>"`` — both end in the type letter.
+    """
+    if tid.startswith("channel:"):
+        return tid.split(":", 1)[1]
+    head = tid.split("[", 1)[0].strip()
+    return head.rsplit(" ", 1)[-1] if " " in head else None
+
+
+def phase_verdicts(tracer: Tracer,
+                   epsilon: float = DEFAULT_EPSILON) -> List[PhaseVerdict]:
+    """Recompute "bound by" per scheduler run span, from spans alone.
+
+    Each ``orchestrator.run`` span is one phase.  Busy time per array
+    group and link channel comes from the ``exec``/``stream``/``host``
+    spans inside the phase window on the phase's pid; idle resources
+    contribute through the inventory counts the run span carries.
+    Phases without that inventory metadata are skipped.
+    """
+    verdicts: List[PhaseVerdict] = []
+    spans = _sim_spans(tracer)
+    for phase in spans:
+        if phase.category != "run" or phase.name != "orchestrator.run":
+            continue
+        args = phase.args
+        host_slots = args.get("host_slots")
+        if not isinstance(host_slots, int):
+            continue
+        counts = {key[len("arrays_"):].upper(): value
+                  for key, value in args.items()
+                  if key.startswith("arrays_") and isinstance(value, int)}
+        duration = phase.duration
+        busy_array: Dict[str, float] = {}
+        busy_link: Dict[str, float] = {}
+        busy_host = 0.0
+        for span in spans:
+            if (span.pid != phase.pid
+                    or span.start < phase.start - epsilon
+                    or span.end > phase.end + epsilon):
+                continue
+            if span.category == "exec":
+                array_type = _array_type_of_tid(span.tid)
+                if array_type:
+                    busy_array[array_type] = (
+                        busy_array.get(array_type, 0.0) + span.duration)
+            elif span.category == "stream":
+                array_type = _array_type_of_tid(span.tid)
+                if array_type:
+                    busy_link[array_type] = (
+                        busy_link.get(array_type, 0.0) + span.duration)
+            elif span.category == "host":
+                busy_host += span.duration
+        utilization: Dict[str, float] = {
+            "host": (busy_host / (duration * host_slots)
+                     if duration > 0 and host_slots > 0 else 0.0)}
+        for array_type, count in counts.items():
+            utilization[f"array:{array_type}"] = (
+                busy_array.get(array_type, 0.0) / (duration * count)
+                if duration > 0 and count > 0 else 0.0)
+            utilization[f"link:{array_type}"] = (
+                busy_link.get(array_type, 0.0) / duration
+                if duration > 0 else 0.0)
+        recorded = args.get("bottleneck")
+        verdicts.append(PhaseVerdict(
+            name=phase.name, pid=phase.pid, start=phase.start,
+            end=phase.end, bound_by=_verdict_of(utilization),
+            utilization=utilization,
+            recorded=recorded if isinstance(recorded, str) else None))
+    verdicts.sort(key=lambda v: (v.start, v.pid))
+    return verdicts
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy/idle/blocked attribution over the root window."""
+
+    horizon_seconds: float
+    tracks: Tuple[TrackUsage, ...]
+    concurrency: Dict[int, float]
+    phases: Tuple[PhaseVerdict, ...] = ()
+
+    def class_busy(self) -> Dict[str, float]:
+        """Total busy seconds per resource class."""
+        totals: Dict[str, float] = {}
+        for track in self.tracks:
+            totals[track.resource_class] = (
+                totals.get(track.resource_class, 0.0) + track.busy_seconds)
+        return dict(sorted(totals.items()))
+
+    @property
+    def mean_concurrency(self) -> float:
+        return sum(level * share
+                   for level, share in self.concurrency.items())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"horizon_seconds": self.horizon_seconds,
+                "tracks": [track.as_dict() for track in self.tracks],
+                "class_busy_seconds": self.class_busy(),
+                "concurrency": {str(k): v
+                                for k, v in sorted(self.concurrency.items())},
+                "mean_concurrency": self.mean_concurrency,
+                "phases": [phase.as_dict() for phase in self.phases]}
+
+
+def utilization_report(tracer: Tracer, root: Optional[str] = None,
+                       epsilon: float = DEFAULT_EPSILON
+                       ) -> UtilizationReport:
+    """Per-track busy/idle/blocked plus the concurrency histogram.
+
+    Busy time counts the resource-occupying categories only (see
+    :data:`CATEGORY_CLASSES`); thread tracks additionally report
+    *blocked* time — the gap between a task's recorded ``ready`` time
+    and its actual start, i.e. time spent waiting on a contended
+    resource rather than on a dependency.
+    """
+    root_span = find_root(tracer, root)
+    horizon = root_span.duration
+    by_track: Dict[Tuple[str, str], List[Span]] = {}
+    for span in _sim_spans(tracer):
+        if span.category not in CATEGORY_CLASSES:
+            continue
+        if span.end <= root_span.start or span.start >= root_span.end:
+            continue
+        by_track.setdefault((span.pid, span.tid), []).append(span)
+    tracks: List[TrackUsage] = []
+    busy_intervals: List[Tuple[float, int]] = []
+    for (pid, tid), spans in sorted(by_track.items()):
+        classes = {CATEGORY_CLASSES[span.category] for span in spans}
+        # A track carries one class in practice; mixed tracks (e.g. a
+        # fleet instance running shard + recovery) collapse sensibly.
+        resource_class = sorted(classes)[0]
+        busy = sum(span.duration for span in spans)
+        blocked = 0.0
+        for span in spans:
+            ready = span.args.get("ready")
+            if isinstance(ready, (int, float)) and not isinstance(
+                    ready, bool):
+                blocked += max(span.start - float(ready), 0.0)
+        tracks.append(TrackUsage(
+            pid=pid, tid=tid, resource_class=resource_class,
+            busy_seconds=busy, blocked_seconds=blocked,
+            horizon_seconds=horizon, spans=len(spans)))
+        if resource_class != "thread":
+            for span in spans:
+                start = max(span.start, root_span.start)
+                end = min(span.end, root_span.end)
+                if end > start:
+                    busy_intervals.append((start, +1))
+                    busy_intervals.append((end, -1))
+    concurrency: Dict[int, float] = {}
+    if horizon > 0:
+        busy_intervals.sort()
+        level = 0
+        previous = root_span.start
+        for t, delta in busy_intervals:
+            if t > previous:
+                concurrency[level] = (concurrency.get(level, 0.0)
+                                      + (t - previous) / horizon)
+            previous = t
+            level += delta
+        if root_span.end > previous:
+            concurrency[level] = (concurrency.get(level, 0.0)
+                                  + (root_span.end - previous) / horizon)
+    return UtilizationReport(
+        horizon_seconds=horizon, tracks=tuple(tracks),
+        concurrency=concurrency,
+        phases=tuple(phase_verdicts(tracer, epsilon=epsilon)))
+
+
+# -- rollups & trace diff ------------------------------------------------
+
+def build_rollup(tracer: Tracer, root: Optional[str] = None,
+                 epsilon: float = DEFAULT_EPSILON) -> Dict[str, object]:
+    """Aggregate a trace into a compact, diffable JSON document.
+
+    Spans group by ``(name, category)``; the rollup carries per-group
+    count and total duration, per-class busy seconds, the root
+    duration, and the critical path aggregated the same way.  Two runs
+    of the same scenario align by these keys even when thread/track
+    placement differs.
+    """
+    root_span = find_root(tracer, root)
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for span in _sim_spans(tracer):
+        if span is root_span or span.category in _ROOT_CATEGORIES:
+            continue
+        key = (span.name, span.category)
+        groups.setdefault(key, []).append(span.duration)
+    path = extract_critical_path(tracer, root=root, epsilon=epsilon)
+    critical: Dict[Tuple[str, str], List[float]] = {}
+    for hop in path.hops:
+        key = (hop.name, hop.category)
+        critical.setdefault(key, []).append(hop.self_seconds)
+    report = utilization_report(tracer, root=root, epsilon=epsilon)
+    return {
+        "schema": ROLLUP_SCHEMA,
+        "schema_version": ROLLUP_SCHEMA_VERSION,
+        "root": root_span.name,
+        "root_seconds": root_span.duration,
+        "spans": [
+            {"name": name, "category": category,
+             "count": len(durations), "total_seconds": sum(durations)}
+            for (name, category), durations in sorted(groups.items())],
+        "classes": report.class_busy(),
+        "critical": [
+            {"name": name, "category": category,
+             "count": len(selfs), "self_seconds": sum(selfs)}
+            for (name, category), selfs in sorted(critical.items())],
+        "bound_by": (report.phases[0].bound_by
+                     if report.phases else None),
+    }
+
+
+def validate_rollup(rollup: Dict[str, object]) -> Dict[str, object]:
+    """Schema-check one rollup document; returns it, raises ValueError."""
+    if not isinstance(rollup, dict):
+        raise ValueError("rollup must be a JSON object")
+    if rollup.get("schema") != ROLLUP_SCHEMA:
+        raise ValueError(f"not a {ROLLUP_SCHEMA} document: "
+                         f"schema={rollup.get('schema')!r}")
+    version = rollup.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad rollup schema_version {version!r}")
+    if version > ROLLUP_SCHEMA_VERSION:
+        raise ValueError(f"rollup schema_version {version} is newer than "
+                         f"this reader ({ROLLUP_SCHEMA_VERSION})")
+    root_seconds = rollup.get("root_seconds")
+    if not isinstance(root_seconds, (int, float)) or root_seconds < 0:
+        raise ValueError(f"bad rollup root_seconds {root_seconds!r}")
+    spans = rollup.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("rollup must carry a spans list")
+    for entry in spans:
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str) or not isinstance(
+                entry.get("total_seconds"), (int, float)):
+            raise ValueError(f"bad rollup span entry {entry!r}")
+    return rollup
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """One span group's contribution to the end-to-end delta."""
+
+    name: str
+    category: str
+    baseline_seconds: float
+    current_seconds: float
+    baseline_count: int
+    current_count: int
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.current_seconds - self.baseline_seconds
+
+    @property
+    def status(self) -> str:
+        if self.baseline_count == 0:
+            return "added"
+        if self.current_count == 0:
+            return "removed"
+        return "moved"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "category": self.category,
+                "baseline_seconds": self.baseline_seconds,
+                "current_seconds": self.current_seconds,
+                "baseline_count": self.baseline_count,
+                "current_count": self.current_count,
+                "delta_seconds": self.delta_seconds,
+                "status": self.status}
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Run-to-run latency delta, attributed to the spans that moved."""
+
+    root: str
+    baseline_seconds: float
+    current_seconds: float
+    rows: Tuple[AttributionRow, ...]
+    class_deltas: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.current_seconds - self.baseline_seconds
+
+    @property
+    def delta_pct(self) -> float:
+        return (self.delta_seconds / self.baseline_seconds * 100.0
+                if self.baseline_seconds > 0 else 0.0)
+
+    def top(self, k: int) -> Tuple[AttributionRow, ...]:
+        return self.rows[:k]
+
+    def as_dict(self, top: Optional[int] = None) -> Dict[str, object]:
+        rows = self.rows if top is None else self.top(top)
+        return {"root": self.root,
+                "baseline_seconds": self.baseline_seconds,
+                "current_seconds": self.current_seconds,
+                "delta_seconds": self.delta_seconds,
+                "delta_pct": self.delta_pct,
+                "class_deltas": dict(sorted(self.class_deltas.items())),
+                "rows": [row.as_dict() for row in rows]}
+
+
+def diff_rollups(baseline: Dict[str, object],
+                 current: Dict[str, object]) -> TraceDiff:
+    """Attribute the end-to-end delta between two aligned rollups.
+
+    Rows are every ``(name, category)`` group either side measured,
+    sorted by absolute delta (largest mover first); groups only one
+    side has surface as ``added``/``removed`` — structural drift, not
+    just a slowdown.
+    """
+    validate_rollup(baseline)
+    validate_rollup(current)
+
+    def entries(rollup: Dict[str, object]
+                ) -> Dict[Tuple[str, str], Tuple[float, int]]:
+        table: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        for entry in rollup["spans"]:
+            key = (str(entry["name"]), str(entry.get("category", "span")))
+            seconds, count = table.get(key, (0.0, 0))
+            table[key] = (seconds + float(entry["total_seconds"]),
+                          count + int(entry.get("count", 1)))
+        return table
+
+    base_entries = entries(baseline)
+    cur_entries = entries(current)
+    rows = []
+    for key in sorted(set(base_entries) | set(cur_entries)):
+        base_seconds, base_count = base_entries.get(key, (0.0, 0))
+        cur_seconds, cur_count = cur_entries.get(key, (0.0, 0))
+        rows.append(AttributionRow(
+            name=key[0], category=key[1],
+            baseline_seconds=base_seconds, current_seconds=cur_seconds,
+            baseline_count=base_count, current_count=cur_count))
+    rows.sort(key=lambda row: (-abs(row.delta_seconds), row.name,
+                               row.category))
+    base_classes = {str(k): float(v)
+                    for k, v in (baseline.get("classes") or {}).items()}
+    cur_classes = {str(k): float(v)
+                   for k, v in (current.get("classes") or {}).items()}
+    class_deltas = {
+        name: cur_classes.get(name, 0.0) - base_classes.get(name, 0.0)
+        for name in sorted(set(base_classes) | set(cur_classes))}
+    return TraceDiff(
+        root=str(current.get("root", baseline.get("root", "(trace)"))),
+        baseline_seconds=float(baseline["root_seconds"]),
+        current_seconds=float(current["root_seconds"]),
+        rows=tuple(rows), class_deltas=class_deltas)
+
+
+def diff_traces(baseline: Union[Tracer, Dict[str, object], str],
+                current: Union[Tracer, Dict[str, object], str],
+                root: Optional[str] = None) -> TraceDiff:
+    """Diff two traces end to end (convenience over rollups)."""
+    return diff_rollups(build_rollup(load_trace(baseline), root=root),
+                        build_rollup(load_trace(current), root=root))
+
+
+# -- whole-trace analysis ------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Everything ``cli analyze`` reports for one trace."""
+
+    path: CriticalPath
+    utilization: UtilizationReport
+    diff: Optional[TraceDiff] = None
+
+    def as_dict(self, top: Optional[int] = None) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "critical_path": self.path.as_dict(),
+            "utilization": self.utilization.as_dict()}
+        if self.diff is not None:
+            data["diff"] = self.diff.as_dict(top=top)
+        return data
+
+    def to_json(self, top: Optional[int] = None) -> str:
+        """Canonical (sorted-keys) JSON; byte-identical per seed."""
+        return json.dumps(self.as_dict(top=top), sort_keys=True, indent=1)
+
+
+def analyze_trace(source: Union[Tracer, Dict[str, object], str],
+                  against: Union[Tracer, Dict[str, object], str,
+                                 None] = None,
+                  root: Optional[str] = None,
+                  epsilon: float = DEFAULT_EPSILON) -> TraceAnalysis:
+    """Run every analysis over ``source``.
+
+    Args:
+        source: tracer, Chrome-trace dict, or path to an exported JSON.
+        against: optional baseline trace; adds the run-to-run diff.
+        root: anchor span name (default: the run/fleet root).
+        epsilon: float-slack for chaining and window checks.
+    """
+    tracer = load_trace(source)
+    analysis_diff = None
+    if against is not None:
+        analysis_diff = diff_rollups(
+            build_rollup(load_trace(against), root=root, epsilon=epsilon),
+            build_rollup(tracer, root=root, epsilon=epsilon))
+    return TraceAnalysis(
+        path=extract_critical_path(tracer, root=root, epsilon=epsilon),
+        utilization=utilization_report(tracer, root=root, epsilon=epsilon),
+        diff=analysis_diff)
+
+
+def critical_path_spans(path: CriticalPath,
+                        pid: str = "analysis",
+                        tid: str = "critical path") -> List[Span]:
+    """The path as disjoint highlight spans for Perfetto re-export.
+
+    Pass to :func:`repro.telemetry.export.to_chrome_trace` via
+    ``extra_spans``: the hops tile the root window end to end on one
+    track, so the export stays schema- and nesting-valid while the
+    critical chain renders as its own highlighted row.
+    """
+    spans = []
+    cursor = None
+    for index, hop in enumerate(path.hops):
+        start = (hop.end - hop.self_seconds if cursor is None else cursor)
+        end = start + hop.self_seconds
+        spans.append(Span(
+            name=hop.name, start=start, end=end, pid=pid, tid=tid,
+            category="critical", clock=SIM_CLOCK,
+            args={"hop": index, "source_track": f"{hop.pid}/{hop.tid}",
+                  "source_category": hop.category,
+                  "self_seconds": hop.self_seconds}))
+        cursor = end
+    return spans
+
+
+# -- formatting ----------------------------------------------------------
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.3f}"
+
+
+def format_critical_path(path: CriticalPath,
+                         top: Optional[int] = None) -> str:
+    """Ordered hop table with per-hop self time and share."""
+    lines = [f"critical path of '{path.root_name}' "
+             f"({_ms(path.root_seconds).strip()} ms end-to-end, "
+             f"{len(path.hops)} hop(s), "
+             f"{_ms(path.gap_seconds).strip()} ms idle gaps)"]
+    hops = list(path.hops)
+    shown = hops if top is None else sorted(
+        hops, key=lambda hop: -hop.self_seconds)[:top]
+    order = {id(hop): i for i, hop in enumerate(hops)}
+    shown.sort(key=lambda hop: order[id(hop)])
+    width = max([len(hop.name) for hop in shown] or [8])
+    total = path.total_seconds or 1.0
+    for hop in shown:
+        where = f"{hop.pid}/{hop.tid}"
+        lines.append(
+            f"  {_ms(hop.self_seconds)} ms {hop.self_seconds / total:6.1%}"
+            f"  {hop.name:<{width}s}  [{hop.category}] {where}")
+    if top is not None and len(hops) > len(shown):
+        rest = sum(hop.self_seconds for hop in hops) - sum(
+            hop.self_seconds for hop in shown)
+        lines.append(f"  {_ms(rest)} ms {rest / total:6.1%}  "
+                     f"({len(hops) - len(shown)} more hop(s))")
+    by_category = path.by_category()
+    summary = ", ".join(f"{category} {seconds / total:.1%}"
+                        for category, seconds in by_category.items())
+    lines.append(f"  path composition: {summary}")
+    return "\n".join(lines)
+
+
+def format_utilization(report: UtilizationReport,
+                       top: Optional[int] = None) -> str:
+    """Per-track busy/blocked/idle table plus phase verdicts."""
+    lines = [f"utilization over {_ms(report.horizon_seconds).strip()} ms "
+             f"(mean resource concurrency "
+             f"{report.mean_concurrency:.2f})"]
+    tracks = sorted(report.tracks, key=lambda t: -t.busy_seconds)
+    if top is not None:
+        tracks = tracks[:top]
+    width = max([len(f"{t.pid}/{t.tid}") for t in tracks] or [8])
+    lines.append(f"  {'track':<{width}s} {'class':>7s} {'busy':>7s} "
+                 f"{'blocked':>9s} {'idle':>9s} {'spans':>6s}")
+    for track in tracks:
+        label = f"{track.pid}/{track.tid}"
+        lines.append(
+            f"  {label:<{width}s} {track.resource_class:>7s} "
+            f"{track.busy_fraction:6.1%} "
+            f"{_ms(track.blocked_seconds)} {_ms(track.idle_seconds)} "
+            f"{track.spans:6d}")
+    for phase in report.phases:
+        check = ("" if phase.agrees is None
+                 else ("  [matches scheduler]" if phase.agrees
+                       else f"  [scheduler said {phase.recorded}]"))
+        busiest = sorted(phase.utilization.items(),
+                         key=lambda item: -item[1])[:3]
+        detail = ", ".join(f"{name} {value:.1%}"
+                           for name, value in busiest)
+        lines.append(f"  phase {phase.pid}/{phase.name} "
+                     f"[{_ms(phase.start).strip()}, "
+                     f"{_ms(phase.end).strip()}] ms: "
+                     f"bound by {phase.bound_by} ({detail}){check}")
+    return "\n".join(lines)
+
+
+def format_diff(diff: TraceDiff, top: int = 10) -> str:
+    """Attribution table: which spans moved the end-to-end number."""
+    lines = [f"trace diff of '{diff.root}': "
+             f"{_ms(diff.baseline_seconds).strip()} ms -> "
+             f"{_ms(diff.current_seconds).strip()} ms "
+             f"({diff.delta_pct:+.1f}%)"]
+    rows = [row for row in diff.top(top)
+            if row.delta_seconds != 0.0 or row.status != "moved"]
+    if not rows:
+        lines.append("  no span group moved (zero-delta attribution)")
+        return "\n".join(lines)
+    width = max(len(row.name) for row in rows)
+    denominator = diff.delta_seconds
+    for row in rows:
+        share = (f" {row.delta_seconds / denominator:6.1%} of delta"
+                 if denominator != 0.0 else "")
+        lines.append(
+            f"  {row.delta_seconds * 1e3:+9.3f} ms  "
+            f"{row.name:<{width}s}  [{row.category}] "
+            f"x{row.baseline_count}->x{row.current_count} "
+            f"{row.status}{share}")
+    movers = ", ".join(
+        f"{name} {delta * 1e3:+.3f} ms"
+        for name, delta in sorted(diff.class_deltas.items(),
+                                  key=lambda item: -abs(item[1]))[:4]
+        if delta != 0.0)
+    if movers:
+        lines.append(f"  resource classes moved: {movers}")
+    return "\n".join(lines)
+
+
+def format_analysis(analysis: TraceAnalysis, top: int = 10) -> str:
+    """The full ASCII report ``cli analyze`` prints."""
+    parts = [format_critical_path(analysis.path, top=top),
+             "",
+             format_utilization(analysis.utilization, top=top)]
+    if analysis.diff is not None:
+        parts += ["", format_diff(analysis.diff, top=top)]
+    return "\n".join(parts)

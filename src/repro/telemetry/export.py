@@ -29,7 +29,7 @@ import json
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import MetricsRegistry
-from .spans import Tracer
+from .spans import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .profiling import ProfileReport
@@ -54,7 +54,8 @@ def to_chrome_trace(tracer: Tracer,
                     metadata: Optional[Dict[str, object]] = None,
                     profiles: Optional[Sequence["ProfileReport"]] = None,
                     metrics: Optional[MetricsRegistry] = None,
-                    series: Optional["TimeSeriesStore"] = None
+                    series: Optional["TimeSeriesStore"] = None,
+                    extra_spans: Optional[Sequence[Span]] = None
                     ) -> Dict[str, object]:
     """Convert a tracer's spans and instants to a Chrome-trace dict.
 
@@ -69,6 +70,11 @@ def to_chrome_trace(tracer: Tracer,
         series: optional monitor time-series store; every sample of
             every series becomes a ``"C"`` event under a ``monitor``
             process, rendering as stepped graphs in Perfetto.
+        extra_spans: additional synthesized spans exported after the
+            tracer's own — used by :mod:`repro.telemetry.analyze` to
+            highlight the critical path on its own track.  They follow
+            the same pid/tid labelling and must respect the nesting
+            rule on their tracks.
 
     Returns:
         A JSON-serializable dict with ``traceEvents`` ready for
@@ -97,8 +103,8 @@ def to_chrome_trace(tracer: Tracer,
                            "args": {"name": tid_label}})
         return tids[key]
 
-    for span in tracer.finished_spans():
-        events.append({
+    def span_event(span: Span) -> Dict[str, object]:
+        return {
             "ph": "X",
             "name": span.name,
             "cat": span.category,
@@ -107,7 +113,10 @@ def to_chrome_trace(tracer: Tracer,
             "pid": pid_of(span.pid),
             "tid": tid_of(span.pid, span.tid),
             "args": _json_safe(dict(span.args, clock=span.clock)),
-        })
+        }
+
+    for span in tracer.finished_spans():
+        events.append(span_event(span))
     for instant in tracer.instants:
         events.append({
             "ph": "i",
@@ -162,6 +171,9 @@ def to_chrome_trace(tracer: Tracer,
                     "tid": 0,
                     "args": {"value": value},
                 })
+    for span in extra_spans or ():
+        if span.end is not None:
+            events.append(span_event(span))
     return {"traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": dict(metadata or {})}
@@ -171,11 +183,13 @@ def write_chrome_trace(tracer: Tracer, path: str,
                        metadata: Optional[Dict[str, object]] = None,
                        profiles: Optional[Sequence["ProfileReport"]] = None,
                        metrics: Optional[MetricsRegistry] = None,
-                       series: Optional["TimeSeriesStore"] = None
+                       series: Optional["TimeSeriesStore"] = None,
+                       extra_spans: Optional[Sequence[Span]] = None
                        ) -> Dict[str, object]:
     """Write the Chrome-trace JSON to ``path``; returns the dict."""
     data = to_chrome_trace(tracer, metadata=metadata, profiles=profiles,
-                           metrics=metrics, series=series)
+                           metrics=metrics, series=series,
+                           extra_spans=extra_spans)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=1)
     return data

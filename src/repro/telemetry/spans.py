@@ -18,6 +18,7 @@ one pointer comparison and every simulation result stays bit-identical.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -106,6 +107,12 @@ class Tracer:
             parent: optional enclosing span.
             **args: free-form attributes attached to the span.
         """
+        if math.isnan(start) or math.isnan(end):
+            # NaN compares false against everything, so it would sail
+            # through the ordering check below and poison every export
+            # and critical-path chain downstream.
+            raise ValueError(f"span '{name}' has NaN timestamps "
+                             f"({start}, {end})")
         if end < start:
             raise ValueError(f"span '{name}' ends ({end}) before it "
                              f"starts ({start})")
@@ -121,6 +128,8 @@ class Tracer:
                 tid: str = "main", category: str = "event",
                 **args: object) -> Instant:
         """Record a point event at ``ts`` seconds."""
+        if math.isnan(ts):
+            raise ValueError(f"instant '{name}' has a NaN timestamp")
         event = Instant(name=name, ts=ts, pid=pid, tid=tid,
                         category=category, args=dict(args))
         self.instants.append(event)
@@ -155,8 +164,16 @@ class Tracer:
     # -- inspection ------------------------------------------------------
 
     def finished_spans(self) -> List[Span]:
-        """All closed spans, in recording order."""
-        return [span for span in self.spans if span.end is not None]
+        """All closed spans, in deterministic analytics order.
+
+        Stable-sorted by ``(start, pid, tid, name)`` so exports, trace
+        diffs, and critical-path extraction are reproducible run to run
+        regardless of the (scheduler-dependent) recording order; ties
+        keep recording order.
+        """
+        return sorted(
+            (span for span in self.spans if span.end is not None),
+            key=lambda span: (span.start, span.pid, span.tid, span.name))
 
     def spans_on(self, pid: Optional[str] = None,
                  tid: Optional[str] = None,

@@ -1,0 +1,470 @@
+"""Tests for the trace analytics engine and regression attribution.
+
+Covers critical-path extraction (exact tiling of the end-to-end span,
+idle-gap synthesis, determinism), utilization attribution (busy/blocked
+accounting, concurrency histogram, the "bound by" verdict against the
+scheduler's own bottleneck), trace rollups and run-to-run diffs, the
+Chrome-trace round trip including the highlighted critical-path track,
+BENCH rollup embedding, and the ``analyze`` / ``bench --attribute``
+CLI paths.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    attribute_comparison,
+    build_record,
+    build_rollups,
+    compare_records,
+    format_attribution,
+    select_scenarios,
+    trace_scenario,
+    traced_scenario_names,
+    validate_record,
+    write_record,
+)
+from repro.bench.scenarios import BATCH, SEQ_LEN, _base_config, _hardware
+from repro.cli import main
+from repro.sched.orchestrator import Orchestrator
+from repro.telemetry import (
+    Tracer,
+    analyze_trace,
+    build_rollup,
+    critical_path_spans,
+    diff_rollups,
+    extract_critical_path,
+    format_critical_path,
+    format_diff,
+    format_utilization,
+    load_trace,
+    to_chrome_trace,
+    tracer_from_chrome_trace,
+    utilization_report,
+    validate_chrome_trace,
+    validate_rollup,
+)
+from repro.telemetry.analyze import IDLE_HOP, find_root
+
+
+@pytest.fixture(scope="module")
+def schedule_run():
+    """One traced nominal schedule plus its ScheduleResult."""
+    tracer = Tracer()
+    result = Orchestrator(_hardware()).run(
+        _base_config(), batch=BATCH, seq_len=SEQ_LEN, tracer=tracer)
+    return tracer, result
+
+
+def _toy_tracer():
+    """A small hand-built trace with a deliberate 1s idle gap."""
+    tracer = Tracer()
+    tracer.add_span("root", 0.0, 10.0, category="run", tid="top")
+    tracer.add_span("a", 0.0, 4.0, category="exec", tid="r1")
+    tracer.add_span("b", 5.0, 10.0, category="exec", tid="r2")
+    return tracer
+
+
+# -- critical path -------------------------------------------------------
+
+class TestCriticalPath:
+    def test_path_tiles_the_root_span_exactly(self, schedule_run):
+        tracer, result = schedule_run
+        path = extract_critical_path(tracer)
+        assert path.root_name == "orchestrator.run"
+        assert path.root_seconds == pytest.approx(
+            result.makespan_seconds, abs=0.0)
+        # The acceptance invariant: per-hop self times tile the
+        # end-to-end span with no gaps and no overlaps.
+        assert path.total_seconds == pytest.approx(path.root_seconds,
+                                                   abs=1e-12)
+        assert path.gap_seconds == 0.0
+        assert path.gaps == 0
+
+    def test_hops_are_chronological_and_contiguous(self, schedule_run):
+        tracer, _result = schedule_run
+        path = extract_critical_path(tracer)
+        cursor = 0.0
+        for hop in path.hops:
+            assert hop.self_seconds > 0.0
+            cursor += hop.self_seconds
+        assert cursor == pytest.approx(path.root_seconds, abs=1e-12)
+        ends = [hop.end for hop in path.hops]
+        assert ends == sorted(ends)
+
+    def test_gap_synthesis_on_a_sparse_trace(self):
+        path = extract_critical_path(_toy_tracer())
+        names = [hop.name for hop in path.hops]
+        assert names == ["a", IDLE_HOP, "b"]
+        assert path.gap_seconds == pytest.approx(1.0)
+        assert path.gaps == 1
+        assert path.total_seconds == pytest.approx(10.0)
+
+    def test_extraction_is_deterministic_per_seed(self):
+        def analysis_json():
+            tracer = Tracer()
+            Orchestrator(_hardware()).run(_base_config(), batch=BATCH,
+                                          seq_len=SEQ_LEN, tracer=tracer)
+            return analyze_trace(tracer).to_json()
+
+        assert analysis_json() == analysis_json()
+
+    def test_named_and_missing_roots(self, schedule_run):
+        tracer, _result = schedule_run
+        named = extract_critical_path(tracer, root="orchestrator.run")
+        assert named.root_name == "orchestrator.run"
+        with pytest.raises(ValueError, match="no sim-time span named"):
+            extract_critical_path(tracer, root="nope")
+        with pytest.raises(ValueError, match="no finished sim-time"):
+            extract_critical_path(Tracer())
+
+    def test_hull_root_when_no_run_span_exists(self):
+        tracer = Tracer()
+        tracer.add_span("x", 1.0, 3.0, category="exec")
+        root = find_root(tracer)
+        assert root.name == "(trace)"
+        assert (root.start, root.end) == (1.0, 3.0)
+
+    def test_formatting_mentions_hops_and_composition(self, schedule_run):
+        tracer, _result = schedule_run
+        text = format_critical_path(extract_critical_path(tracer), top=5)
+        assert "critical path of 'orchestrator.run'" in text
+        assert "more hop(s)" in text
+        assert "path composition:" in text
+
+
+# -- utilization & verdicts ---------------------------------------------
+
+class TestUtilization:
+    def test_verdict_matches_schedule_result_bottleneck(
+            self, schedule_run):
+        tracer, result = schedule_run
+        report = utilization_report(tracer)
+        assert len(report.phases) == 1
+        phase = report.phases[0]
+        assert phase.bound_by == result.bottleneck
+        assert phase.recorded == result.bottleneck
+        assert phase.agrees is True
+
+    def test_verdict_matches_across_table4_configs(self):
+        from repro.arch.config import table4_configs
+
+        for config in table4_configs()[:3]:
+            tracer = Tracer()
+            result = Orchestrator(config).run(
+                _base_config(), batch=BATCH, seq_len=SEQ_LEN,
+                tracer=tracer)
+            report = utilization_report(tracer)
+            assert report.phases[0].bound_by == result.bottleneck, \
+                config.name
+
+    def test_track_accounting_sums(self, schedule_run):
+        tracer, _result = schedule_run
+        report = utilization_report(tracer)
+        for track in report.tracks:
+            assert 0.0 <= track.busy_fraction <= 1.0 + 1e-9
+            assert track.idle_seconds >= 0.0
+            total = (track.busy_seconds + track.blocked_seconds
+                     + track.idle_seconds)
+            assert total <= track.horizon_seconds + 1e-9
+        classes = {track.resource_class for track in report.tracks}
+        assert {"array", "link", "host", "thread"} <= classes
+
+    def test_concurrency_histogram_is_a_distribution(self, schedule_run):
+        tracer, _result = schedule_run
+        report = utilization_report(tracer)
+        assert sum(report.concurrency.values()) == pytest.approx(1.0)
+        assert all(share >= 0.0 for share in report.concurrency.values())
+        assert report.mean_concurrency > 1.0  # arrays + links overlap
+
+    def test_blocked_time_comes_from_ready_args(self):
+        tracer = Tracer()
+        tracer.add_span("root", 0.0, 4.0, category="run")
+        tracer.add_span("t", 2.0, 3.0, category="task", tid="thread00",
+                        ready=1.0)
+        report = utilization_report(tracer)
+        track = next(t for t in report.tracks if t.tid == "thread00")
+        assert track.blocked_seconds == pytest.approx(1.0)
+
+    def test_formatting_includes_phase_verdict(self, schedule_run):
+        tracer, _result = schedule_run
+        text = format_utilization(utilization_report(tracer), top=5)
+        assert "bound by" in text
+        assert "[matches scheduler]" in text
+
+
+# -- rollups & diffs -----------------------------------------------------
+
+class TestRollupsAndDiff:
+    def test_rollup_schema_and_validation(self, schedule_run):
+        tracer, _result = schedule_run
+        rollup = validate_rollup(build_rollup(tracer))
+        assert rollup["schema"] == "repro.trace-rollup"
+        assert rollup["root"] == "orchestrator.run"
+        assert rollup["bound_by"] is not None
+        assert rollup["spans"] and rollup["critical"]
+
+    def test_validate_rollup_rejects_malformed_documents(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_rollup([])
+        with pytest.raises(ValueError, match="schema="):
+            validate_rollup({"schema": "other"})
+        base = {"schema": "repro.trace-rollup", "schema_version": 1,
+                "root_seconds": 1.0, "spans": []}
+        with pytest.raises(ValueError, match="newer than"):
+            validate_rollup(dict(base, schema_version=99))
+        with pytest.raises(ValueError, match="root_seconds"):
+            validate_rollup(dict(base, root_seconds=-1))
+        with pytest.raises(ValueError, match="span entry"):
+            validate_rollup(dict(base, spans=[{"name": 3}]))
+
+    def test_self_diff_is_exactly_zero(self, schedule_run):
+        tracer, _result = schedule_run
+        rollup = build_rollup(tracer)
+        diff = diff_rollups(rollup, rollup)
+        assert diff.delta_seconds == 0.0
+        assert all(row.delta_seconds == 0.0 for row in diff.rows)
+        assert "zero-delta" in format_diff(diff)
+
+    def test_identical_seed_traces_diff_to_zero(self, schedule_run):
+        tracer, _result = schedule_run
+        other = Tracer()
+        Orchestrator(_hardware()).run(_base_config(), batch=BATCH,
+                                      seq_len=SEQ_LEN, tracer=other)
+        diff = diff_rollups(build_rollup(tracer), build_rollup(other))
+        assert diff.delta_seconds == 0.0
+        assert all(row.delta_seconds == 0.0 for row in diff.rows)
+
+    def test_injected_slowdown_is_attributed_to_the_right_span(self):
+        slow = _toy_tracer()
+        fast = Tracer()
+        fast.add_span("root", 0.0, 8.5, category="run", tid="top")
+        fast.add_span("a", 0.0, 4.0, category="exec", tid="r1")
+        fast.add_span("b", 5.0, 8.5, category="exec", tid="r2")
+        diff = diff_rollups(build_rollup(fast), build_rollup(slow))
+        assert diff.delta_seconds == pytest.approx(1.5)
+        top = diff.rows[0]
+        assert (top.name, top.status) == ("b", "moved")
+        assert top.delta_seconds == pytest.approx(1.5)
+        assert "of delta" in format_diff(diff)
+
+    def test_structural_drift_shows_added_and_removed(self):
+        base = build_rollup(_toy_tracer())
+        tracer = Tracer()
+        tracer.add_span("root", 0.0, 10.0, category="run", tid="top")
+        tracer.add_span("a", 0.0, 4.0, category="exec", tid="r1")
+        tracer.add_span("c", 5.0, 10.0, category="exec", tid="r2")
+        diff = diff_rollups(base, build_rollup(tracer))
+        statuses = {row.name: row.status for row in diff.rows}
+        assert statuses["b"] == "removed"
+        assert statuses["c"] == "added"
+
+
+# -- Chrome-trace round trip ---------------------------------------------
+
+class TestChromeRoundTrip:
+    def test_reloaded_trace_preserves_the_invariants(self, schedule_run):
+        tracer, result = schedule_run
+        data = to_chrome_trace(tracer)
+        reloaded = tracer_from_chrome_trace(data)
+        analysis = analyze_trace(reloaded)
+        assert analysis.path.total_seconds == pytest.approx(
+            analysis.path.root_seconds, abs=1e-12)
+        assert analysis.path.gap_seconds == 0.0
+        assert analysis.utilization.phases[0].bound_by == \
+            result.bottleneck
+
+    def test_highlight_track_exports_valid_and_tiles(self, schedule_run):
+        tracer, _result = schedule_run
+        path = extract_critical_path(tracer)
+        extra = critical_path_spans(path)
+        data = to_chrome_trace(tracer, extra_spans=extra)
+        counts = validate_chrome_trace(data)
+        assert counts["spans"] == len(tracer.finished_spans()) + len(extra)
+        # Disjoint, contiguous, one track.
+        assert all(span.tid == "critical path" for span in extra)
+        for left, right in zip(extra, extra[1:]):
+            assert right.start == pytest.approx(left.end)
+
+    def test_highlight_track_is_not_reanalyzed_after_reload(
+            self, schedule_run):
+        tracer, _result = schedule_run
+        path = extract_critical_path(tracer)
+        data = to_chrome_trace(tracer,
+                               extra_spans=critical_path_spans(path))
+        reloaded = tracer_from_chrome_trace(data)
+        assert not [span for span in reloaded.finished_spans()
+                    if span.pid == "analysis"]
+        again = extract_critical_path(reloaded)
+        assert len(again.hops) == len(path.hops)
+
+    def test_load_trace_accepts_path_dict_and_tracer(
+            self, schedule_run, tmp_path):
+        tracer, _result = schedule_run
+        data = to_chrome_trace(tracer)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(data))
+        for source in (tracer, data, str(path)):
+            assert len(load_trace(source).finished_spans()) >= \
+                len([s for s in tracer.finished_spans()])
+        with pytest.raises(TypeError):
+            load_trace(42)
+        with pytest.raises(ValueError, match="traceEvents"):
+            tracer_from_chrome_trace({})
+
+    def test_same_file_loaded_twice_analyzes_identically(
+            self, schedule_run, tmp_path):
+        tracer, _result = schedule_run
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(to_chrome_trace(tracer)))
+        first = analyze_trace(str(path)).to_json()
+        second = analyze_trace(str(path)).to_json()
+        assert first == second
+
+
+# -- bench integration ---------------------------------------------------
+
+class TestBenchAttribution:
+    def test_traced_scenarios_cover_the_simulations(self):
+        traced = traced_scenario_names()
+        assert {"schedule", "dse_point", "campaign_simulate",
+                "fleet_simulate"} <= set(traced)
+
+    def test_trace_scenario_runs_and_rejects_untraceable(self):
+        tracer, fingerprint = trace_scenario("schedule")
+        assert fingerprint > 0.0
+        assert tracer.finished_spans()
+        with pytest.raises(ValueError, match="no traced variant"):
+            trace_scenario("trace_build")
+        with pytest.raises(KeyError):
+            trace_scenario("nope")
+
+    def test_record_embeds_and_validates_rollups(self, tmp_path):
+        rollups = build_rollups(["schedule", "trace_build"])
+        assert list(rollups) == ["schedule"]  # untraceable skipped
+        timing = {"name": "schedule", "repeat": 1, "samples": [0.1],
+                  "median_seconds": 0.1, "min_seconds": 0.1,
+                  "max_seconds": 0.1, "mean_seconds": 0.1,
+                  "fingerprint": 1.0, "stable": True}
+        record = build_record({"schedule": timing}, repeat=1,
+                              rollups=rollups)
+        out = tmp_path / "BENCH_0001.json"
+        write_record(record, str(out))
+        loaded = validate_record(json.loads(out.read_text()))
+        validate_rollup(loaded["rollups"]["schedule"])
+        bad = dict(record, rollups={"schedule": {"schema": "junk"}})
+        with pytest.raises(ValueError, match="rollup for scenario"):
+            validate_record(bad)
+
+    def _comparison(self, status_name="schedule", regressed=True):
+        timing = {"name": status_name, "repeat": 1, "samples": [0.4],
+                  "median_seconds": 0.4 if regressed else 0.1,
+                  "min_seconds": 0.1, "max_seconds": 0.4,
+                  "mean_seconds": 0.2, "fingerprint": 1.0,
+                  "stable": True}
+        current = build_record({status_name: timing}, repeat=1)
+        baseline = build_record(
+            {status_name: dict(timing, median_seconds=0.1)}, repeat=1)
+        return compare_records(current, [baseline], band_pct=10.0), \
+            [baseline]
+
+    def test_attribution_of_a_regression_without_baseline_rollup(self):
+        comparison, baselines = self._comparison()
+        assert select_scenarios(comparison) == ["schedule"]
+        attributions = attribute_comparison(comparison, baselines)
+        assert len(attributions) == 1
+        assert attributions[0].diff is None
+        assert "no baseline rollup" in attributions[0].note
+        text = format_attribution(attributions, top=5)
+        assert "attribution for 'schedule'" in text
+        assert "current composition" in text
+
+    def test_attribution_diffs_against_embedded_rollup(self):
+        comparison, baselines = self._comparison()
+        baselines[0]["rollups"] = build_rollups(["schedule"])
+        attributions = attribute_comparison(comparison, baselines)
+        diff = attributions[0].diff
+        assert diff is not None
+        assert diff.delta_seconds == 0.0  # same seed, same structure
+        assert "zero-delta" in format_attribution(attributions)
+
+    def test_attribution_falls_back_to_largest_mover(self):
+        comparison, _baselines = self._comparison(regressed=False)
+        assert not comparison.regressions
+        assert select_scenarios(comparison) == ["schedule"]
+
+    def test_untraceable_comparison_yields_empty_selection(self):
+        comparison, _ = self._comparison(status_name="trace_build")
+        assert select_scenarios(comparison) == []
+        assert "no traceable scenario" in format_attribution([])
+
+
+# -- CLI -----------------------------------------------------------------
+
+class TestAnalyzeCli:
+    def test_analyze_scenario_ascii(self, capsys):
+        assert main(["analyze", "--scenario", "schedule",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path of 'orchestrator.run'" in out
+        assert "bound by" in out
+
+    def test_analyze_requires_exactly_one_input(self):
+        with pytest.raises(SystemExit, match="exactly one input"):
+            main(["analyze"])
+        with pytest.raises(SystemExit, match="exactly one input"):
+            main(["analyze", "--trace", "x.json", "--scenario",
+                  "schedule"])
+        with pytest.raises(SystemExit, match="no traced variant"):
+            main(["analyze", "--scenario", "trace_build"])
+
+    def test_analyze_against_identical_trace_is_zero_delta(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["analyze", "--scenario", "schedule", "--format",
+                     "perfetto", "--out", "trace.json"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--trace", "trace.json", "--against",
+                     "trace.json", "--format", "json",
+                     "--out", "analysis.json"]) == 0
+        out = capsys.readouterr().out
+        analysis = json.loads(out)
+        assert analysis["diff"]["delta_seconds"] == 0.0
+        assert all(row["delta_seconds"] == 0.0
+                   for row in analysis["diff"]["rows"])
+        on_disk = json.loads((tmp_path / "analysis.json").read_text())
+        assert on_disk == analysis
+
+    def test_analyze_perfetto_export_validates(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["analyze", "--scenario", "schedule", "--format",
+                     "perfetto"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path track" in out
+        data = json.loads((tmp_path / "analysis.json").read_text())
+        validate_chrome_trace(data)
+        track_names = [event["args"]["name"]
+                       for event in data["traceEvents"]
+                       if event.get("ph") == "M"
+                       and event["name"] == "thread_name"]
+        assert "critical path" in track_names
+
+    def test_bench_attribute_prints_a_table(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenarios", "schedule", "--repeat", "1",
+                     "--rollups", "--out", "BENCH_0001.json"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--scenarios", "schedule", "--repeat", "1",
+                     "--out", "BENCH_0002.json", "--compare",
+                     "BENCH_0001.json", "--attribute"]) == 0
+        out = capsys.readouterr().out
+        assert "attribution for 'schedule'" in out
+        assert "trace diff of 'orchestrator.run'" in out
+
+    def test_bench_attribute_requires_compare(self):
+        with pytest.raises(SystemExit, match="--attribute requires"):
+            main(["bench", "--scenarios", "trace_build", "--repeat", "1",
+                  "--attribute"])

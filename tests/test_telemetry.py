@@ -47,8 +47,35 @@ class TestTracer:
         assert tracer.spans_on(pid="p", tid="t") == [span]
 
     def test_add_span_rejects_negative_duration(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="ends .* before it"):
             Tracer().add_span("bad", 2.0, 1.0)
+
+    def test_add_span_rejects_nan_timestamps(self):
+        # NaN would pass the end < start check (NaN compares false) and
+        # silently poison every downstream export and analysis.
+        for start, end in ((float("nan"), 1.0), (0.0, float("nan")),
+                           (float("nan"), float("nan"))):
+            with pytest.raises(ValueError, match="NaN"):
+                Tracer().add_span("bad", start, end)
+
+    def test_instant_rejects_nan_timestamp(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Tracer().instant("bad", float("nan"))
+
+    def test_finished_spans_order_is_recording_independent(self):
+        def keys(tracer):
+            return [(s.name, s.start) for s in tracer.finished_spans()]
+
+        forward, backward = Tracer(), Tracer()
+        spans = [("a", 1.0, 2.0, "p1", "x"), ("b", 0.0, 1.0, "p0", "y"),
+                 ("c", 1.0, 2.0, "p0", "y"), ("d", 0.5, 3.0, "p1", "x")]
+        for name, start, end, pid, tid in spans:
+            forward.add_span(name, start, end, pid=pid, tid=tid)
+        for name, start, end, pid, tid in reversed(spans):
+            backward.add_span(name, start, end, pid=pid, tid=tid)
+        assert keys(forward) == keys(backward)
+        assert keys(forward) == [("b", 0.0), ("d", 0.5), ("c", 1.0),
+                                 ("a", 1.0)]
 
     def test_wall_clock_spans_nest_via_parent_id(self):
         tracer = Tracer()
@@ -459,6 +486,39 @@ class TestExport:
         tracer = Tracer()
         tracer.add_span("s", 0.0, 1.0, payload=object())
         json.dumps(to_chrome_trace(tracer))  # must not raise
+
+    def test_counter_and_profile_tracks_validate_together(self):
+        # A full-featured export: spans + a profile track + metric and
+        # monitor counter ("C") tracks, all in one document.
+        from repro.telemetry import TimeSeriesStore, profile
+
+        tracer = self._sample_tracer()
+        with profile(tracer, label="hot") as report:
+            sum(range(2000))
+        registry = MetricsRegistry()
+        registry.counter("sched/dispatches").inc(3)
+        registry.gauge("fleet/capacity").set(0.75)
+        store = TimeSeriesStore()
+        for t, value in ((0.0, 1.0), (0.5, 3.0), (1.0, 2.0)):
+            store.record("queue_depth", t, value)
+        data = to_chrome_trace(tracer, profiles=[report],
+                               metrics=registry, series=store)
+        counts = validate_chrome_trace(data)
+        assert counts["counters"] == 2 + 3  # 2 metrics + 3 samples
+        assert counts["spans"] > 2  # sample spans + hotspot lanes
+        assert counts["processes"] >= 3  # p, profile, metrics, monitor
+        phases = {event["ph"] for event in data["traceEvents"]}
+        assert {"X", "i", "M", "C"} <= phases
+
+    def test_validator_rejects_non_numeric_counter_values(self):
+        data = {"traceEvents": [
+            {"ph": "C", "name": "bad", "pid": 1, "tid": 0, "ts": 0.0,
+             "args": {"value": "high"}}]}
+        with pytest.raises(ValueError, match="must be numeric"):
+            validate_chrome_trace(data)
+        data["traceEvents"][0]["args"] = {}
+        with pytest.raises(ValueError, match="non-empty args"):
+            validate_chrome_trace(data)
 
     def test_metrics_dumps(self, tmp_path):
         registry = MetricsRegistry()
